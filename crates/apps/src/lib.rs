@@ -1,0 +1,64 @@
+//! Mixed-mode parallel application kernels on the `teamsteal` scheduler.
+//!
+//! The paper evaluates the team-building work-stealer on a single
+//! application — the mixed-mode parallel Quicksort of Section 5 — and lists
+//! "further mixed-mode parallel applications" as future work.  This crate
+//! provides that follow-up: a collection of kernels that mix task parallelism
+//! (`r = 1` tasks scheduled by classic work-stealing) with data-parallel team
+//! tasks (`r > 1`), exercising every part of the scheduler's public API:
+//!
+//! | module | kernel | how it mixes modes |
+//! |---|---|---|
+//! | [`foreach`] | data-parallel loops (`for_each`, `map`, `fill`) | one team task per loop; members own contiguous chunks, no per-chunk task allocation or join tree |
+//! | [`reduce`] | reductions (sum, min/max, dot product) | one team task; members reduce disjoint chunks, the leader combines partials after a barrier |
+//! | [`scan`] | prefix sums (inclusive / exclusive) | classic three-phase team scan: local scan, leader scans the block sums, members add their offset |
+//! | [`merge`] | mixed-mode merge sort | top recursion levels merge with co-rank-partitioned team merges, lower levels fall back to fork-join sorting of independent halves |
+//! | [`matmul`] | blocked matrix multiplication | recursive task-parallel block decomposition; large blocks become team tasks whose members own row stripes |
+//! | [`stencil`] | 1-D Jacobi / heat diffusion | every sweep is one data-parallel team task; the team is reused sweep after sweep, which is exactly the team-reuse property of Section 3.1 |
+//! | [`bfs`] | level-synchronous breadth-first search | every level expansion is a team task over the current frontier; tiny frontiers are processed by `r = 1` tasks instead |
+//! | [`spmv`] | sparse matrix–vector multiplication and power iteration | one team task with nnz-balanced row ownership; the power iteration reuses the team every step |
+//! | [`histogram`] | histogramming / bucket counting | members build private histograms of disjoint input chunks and merge ranges of buckets after a barrier |
+//!
+//! All kernels take an explicit [`Scheduler`](teamsteal_core::Scheduler)
+//! reference, never create their own thread pools, and choose their team
+//! sizes with the same "largest power of two that keeps enough work per
+//! member" policy the paper's `getBestNp` uses for Quicksort.
+//!
+//! # Example
+//!
+//! ```
+//! use teamsteal_core::Scheduler;
+//! use teamsteal_apps::reduce::parallel_sum;
+//!
+//! let scheduler = Scheduler::with_threads(4);
+//! let data: Vec<u64> = (1..=10_000).collect();
+//! let total = parallel_sum(&scheduler, &data);
+//! assert_eq!(total, 10_000 * 10_001 / 2);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod bfs;
+pub mod foreach;
+pub mod histogram;
+pub mod matmul;
+pub mod merge;
+pub mod reduce;
+pub mod scan;
+pub mod slots;
+pub mod spmv;
+pub mod stencil;
+pub mod team_size;
+
+pub use bfs::{bfs_mixed, bfs_sequential, CsrGraph};
+pub use foreach::{team_fill_with, team_for_each, team_map};
+pub use histogram::{histogram_mixed, histogram_sequential};
+pub use matmul::{matmul_mixed, matmul_sequential, Matrix};
+pub use merge::{merge_sort_mixed, team_merge};
+pub use reduce::{dot_product, parallel_max, parallel_min, parallel_sum, team_reduce};
+pub use scan::{exclusive_scan_mixed, inclusive_scan_mixed};
+pub use slots::TeamSlots;
+pub use spmv::{power_iteration_mixed, spmv_mixed, spmv_sequential, CsrMatrix};
+pub use stencil::{jacobi_mixed, jacobi_sequential, StencilConfig};
+pub use team_size::best_team_size;

@@ -1,0 +1,120 @@
+//! Ablation benchmarks for the tunable parameters the paper calls out
+//! (experiment A2 in DESIGN.md):
+//!
+//! * **Number of tasks to steal** (Section 4): steal `2^ℓ`, half of the
+//!   victim's queue, or a single task per steal.
+//! * **Block size of the data-parallel partitioning step** (Section 5): the
+//!   paper uses 4096-element blocks; smaller blocks increase the number of
+//!   claims, larger blocks increase the sequential cleanup.
+//! * **Mixed-mode threshold** (`getBestNp`): how much data per thread is
+//!   needed before the data-parallel partitioning pays off.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use teamsteal_core::{Scheduler, StealAmount, StealPolicy};
+use teamsteal_data::Distribution;
+use teamsteal_sort::{fork_join_sort, mixed_mode_sort, SortConfig};
+
+fn bench_steal_amount(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steal_amount");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    let n = 200_000usize;
+    let input = Distribution::Random.generate(n, 4, 7);
+    let config = SortConfig::default();
+    group.throughput(Throughput::Elements(n as u64));
+    for (label, amount) in [
+        ("two_to_level", StealAmount::TwoToLevel),
+        ("half_of_victim", StealAmount::HalfOfVictim),
+        ("single_task", StealAmount::One),
+    ] {
+        let scheduler = Scheduler::builder()
+            .threads(4)
+            .steal_policy(StealPolicy::Deterministic)
+            .steal_amount(amount)
+            .build();
+        group.bench_function(BenchmarkId::new("fork_quicksort", label), |b| {
+            b.iter(|| {
+                let mut data = input.clone();
+                fork_join_sort(&scheduler, &mut data, &config);
+                assert!(teamsteal_data::is_sorted(&data));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_partition_block_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_block_size");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    let n = 400_000usize;
+    let input = Distribution::Random.generate(n, 4, 8);
+    let scheduler = Scheduler::with_threads(4);
+    group.throughput(Throughput::Elements(n as u64));
+    for block_size in [256usize, 1024, 4096] {
+        let config = SortConfig {
+            cutoff: 512,
+            block_size,
+            min_blocks_per_thread: 4,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("mmpar_quicksort", block_size),
+            &block_size,
+            |b, _| {
+                b.iter(|| {
+                    let mut data = input.clone();
+                    mixed_mode_sort(&scheduler, &mut data, &config);
+                    assert!(teamsteal_data::is_sorted(&data));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_mixed_mode_threshold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mixed_mode_threshold");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    let n = 400_000usize;
+    let input = Distribution::Staggered.generate(n, 4, 9);
+    let scheduler = Scheduler::with_threads(4);
+    group.throughput(Throughput::Elements(n as u64));
+    for min_blocks in [4usize, 64, 1024] {
+        let config = SortConfig {
+            cutoff: 512,
+            block_size: 1024,
+            min_blocks_per_thread: min_blocks,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("min_blocks_per_thread", min_blocks),
+            &min_blocks,
+            |b, _| {
+                b.iter(|| {
+                    let mut data = input.clone();
+                    mixed_mode_sort(&scheduler, &mut data, &config);
+                    assert!(teamsteal_data::is_sorted(&data));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_steal_amount(c);
+    bench_partition_block_size(c);
+    bench_mixed_mode_threshold(c);
+}
+
+criterion_group!(ablation, benches);
+criterion_main!(ablation);

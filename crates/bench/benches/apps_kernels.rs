@@ -1,0 +1,179 @@
+//! Criterion benchmarks for the mixed-mode application kernels (experiment
+//! M2 in DESIGN.md): each kernel is measured in its sequential form and in
+//! its mixed-mode (team-task) form on the same scheduler, so the relative
+//! shape — how much a single long-lived team buys over sequential execution,
+//! and how the kernels compare with a fork-join formulation where one exists
+//! — can be tracked on any host.
+//!
+//! Sizes are deliberately modest so `cargo bench --workspace` stays tractable
+//! on a laptop / CI container; the scaling harness (`--bin scaling`) is the
+//! instrument for larger sweeps.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use teamsteal_apps::bfs::{bfs_mixed_with, bfs_sequential, CsrGraph};
+use teamsteal_apps::histogram::{histogram_mixed_with, histogram_sequential};
+use teamsteal_apps::matmul::{matmul_mixed_with, matmul_sequential, Matrix};
+use teamsteal_apps::merge::{merge_sort_mixed_with, MergeSortConfig};
+use teamsteal_apps::reduce::team_reduce_with;
+use teamsteal_apps::scan::scan_with;
+use teamsteal_apps::stencil::{jacobi_mixed, jacobi_sequential, StencilConfig};
+use teamsteal_core::Scheduler;
+use teamsteal_data::Distribution;
+
+const THREADS: usize = 4;
+
+fn group_defaults<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+    let mut group = c.benchmark_group(name);
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    group
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let mut group = group_defaults(c, "apps_reduce");
+    let scheduler = Scheduler::with_threads(THREADS);
+    let n = 1 << 20;
+    let data: Vec<u64> = (0..n as u64).map(|i| i % 1009).collect();
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("sequential_sum", |b| {
+        b.iter(|| data.iter().copied().fold(0u64, |a, x| a.wrapping_add(x)))
+    });
+    group.bench_function("team_sum", |b| {
+        b.iter(|| team_reduce_with(&scheduler, &data, 0u64, |a, x| a.wrapping_add(x), 4096))
+    });
+    group.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = group_defaults(c, "apps_scan");
+    let scheduler = Scheduler::with_threads(THREADS);
+    let n = 1 << 20;
+    let data: Vec<u64> = (0..n as u64).map(|i| i % 17).collect();
+    let mut out = vec![0u64; n];
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("sequential_inclusive", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for (o, &x) in out.iter_mut().zip(&data) {
+                acc += x;
+                *o = acc;
+            }
+            acc
+        })
+    });
+    group.bench_function("team_inclusive", |b| {
+        b.iter(|| scan_with(&scheduler, &data, &mut out, 0u64, |a, x| a + x, true, 4096))
+    });
+    group.finish();
+}
+
+fn bench_merge_sort(c: &mut Criterion) {
+    let mut group = group_defaults(c, "apps_merge_sort");
+    let scheduler = Scheduler::with_threads(THREADS);
+    let n = 1 << 19;
+    let input = Distribution::Random.generate(n, THREADS, 7);
+    let config = MergeSortConfig {
+        leaf_size: 2048,
+        min_elements_per_member: 8192,
+    };
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("std_sort_unstable", |b| {
+        b.iter(|| {
+            let mut v = input.clone();
+            v.sort_unstable();
+            v
+        })
+    });
+    group.bench_function("mixed_mode_merge_sort", |b| {
+        b.iter(|| {
+            let mut v = input.clone();
+            merge_sort_mixed_with(&scheduler, &mut v, &config);
+            v
+        })
+    });
+    group.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = group_defaults(c, "apps_matmul");
+    let scheduler = Scheduler::with_threads(THREADS);
+    let n = 192usize;
+    let a = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 7) % 13) as f64 * 0.5);
+    let b = Matrix::from_fn(n, n, |i, j| ((i * 17 + j * 3) % 11) as f64 * 0.25);
+    group.throughput(Throughput::Elements((n * n * n) as u64));
+    group.bench_function("sequential_ikj", |bch| bch.iter(|| matmul_sequential(&a, &b)));
+    group.bench_function("mixed_mode_bands", |bch| {
+        bch.iter(|| matmul_mixed_with(&scheduler, &a, &b, 1 << 14))
+    });
+    group.finish();
+}
+
+fn bench_stencil(c: &mut Criterion) {
+    let mut group = group_defaults(c, "apps_stencil");
+    let scheduler = Scheduler::with_threads(THREADS);
+    let grid: Vec<f64> = (0..200_000).map(|i| (i % 101) as f64).collect();
+    let config = StencilConfig {
+        sweeps: 20,
+        alpha: 0.25,
+        min_cells_per_member: 4096,
+    };
+    group.throughput(Throughput::Elements((grid.len() * config.sweeps) as u64));
+    group.bench_function("sequential", |b| b.iter(|| jacobi_sequential(&grid, &config)));
+    group.bench_function("team_reused_across_sweeps", |b| {
+        b.iter(|| jacobi_mixed(&scheduler, &grid, &config))
+    });
+    group.finish();
+}
+
+fn bench_bfs(c: &mut Criterion) {
+    let mut group = group_defaults(c, "apps_bfs");
+    let scheduler = Scheduler::with_threads(THREADS);
+    let graph = CsrGraph::grid(400, 250);
+    group.throughput(Throughput::Elements(graph.num_edges() as u64));
+    group.bench_function("sequential", |b| b.iter(|| bfs_sequential(&graph, 0)));
+    group.bench_function("mixed_mode_levels", |b| {
+        b.iter(|| bfs_mixed_with(&scheduler, &graph, 0, 2048))
+    });
+    group.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut group = group_defaults(c, "apps_histogram");
+    let scheduler = Scheduler::with_threads(THREADS);
+    let data = Distribution::Gauss.generate(1 << 20, THREADS, 11);
+    group.throughput(Throughput::Elements(data.len() as u64));
+    for buckets in [16usize, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("sequential", buckets),
+            &buckets,
+            |b, &buckets| b.iter(|| histogram_sequential(&data, buckets)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("team_privatized", buckets),
+            &buckets,
+            |b, &buckets| b.iter(|| histogram_mixed_with(&scheduler, &data, buckets, 4096)),
+        );
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_reduce(c);
+    bench_scan(c);
+    bench_merge_sort(c);
+    bench_matmul(c);
+    bench_stencil(c);
+    bench_bfs(c);
+    bench_histogram(c);
+}
+
+criterion_group!(apps_kernels, benches);
+criterion_main!(apps_kernels);

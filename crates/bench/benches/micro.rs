@@ -1,0 +1,151 @@
+//! Criterion micro-benchmarks (experiment M1 in DESIGN.md):
+//!
+//! * work-stealing deque operations (push/pop, steal),
+//! * task spawn/execute overhead of the scheduler (the degenerate r = 1 case
+//!   the paper argues has "no extra overhead"),
+//! * team formation latency as a function of team size (the cost of the
+//!   "single extra CAS per thread" protocol end to end),
+//! * small sorts with every variant, so relative shapes can be tracked over
+//!   time.
+//!
+//! The suites use small sample counts so `cargo bench --workspace` stays
+//! tractable on a laptop-class (or CI) machine; the table harness
+//! (`--bin tables`) is the instrument for the paper-scale numbers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use teamsteal_bench::{Variant, VariantRunner};
+use teamsteal_core::Scheduler;
+use teamsteal_data::Distribution;
+use teamsteal_deque::Deque;
+use teamsteal_sort::SortConfig;
+
+fn configure(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+fn bench_deque(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deque");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("push_pop_bottom_1000", |b| {
+        let q: Deque<usize> = Deque::new();
+        b.iter(|| {
+            for i in 0..1000 {
+                q.push_bottom(i);
+            }
+            while q.pop_bottom().is_some() {}
+        });
+    });
+    group.bench_function("push_steal_1000", |b| {
+        let q: Deque<usize> = Deque::new();
+        b.iter(|| {
+            for i in 0..1000 {
+                q.push_bottom(i);
+            }
+            while q.steal_top().success().is_some() {}
+        });
+    });
+    group.finish();
+}
+
+fn bench_spawn_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spawn_overhead");
+    group
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for threads in [1usize, 4] {
+        let scheduler = Scheduler::with_threads(threads);
+        group.throughput(Throughput::Elements(1000));
+        group.bench_with_input(
+            BenchmarkId::new("spawn_1000_empty_tasks", threads),
+            &threads,
+            |b, _| {
+                b.iter(|| {
+                    let counter = Arc::new(AtomicUsize::new(0));
+                    scheduler.scope(|scope| {
+                        for _ in 0..1000 {
+                            let counter = Arc::clone(&counter);
+                            scope.spawn(move |_| {
+                                counter.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                    assert_eq!(counter.load(Ordering::Relaxed), 1000);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_team_formation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("team_formation");
+    group
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for team in [2usize, 4, 8] {
+        let scheduler = Scheduler::with_threads(8);
+        group.bench_with_input(BenchmarkId::new("build_and_run", team), &team, |b, &team| {
+            b.iter(|| {
+                let hits = Arc::new(AtomicUsize::new(0));
+                let h = Arc::clone(&hits);
+                scheduler.run_team(team, move |ctx| {
+                    h.fetch_add(1, Ordering::Relaxed);
+                    ctx.barrier();
+                });
+                assert_eq!(hits.load(Ordering::Relaxed), team);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sort_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sort_small");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    let n = 200_000usize;
+    let input = Distribution::Random.generate(n, 4, 99);
+    let config = SortConfig {
+        cutoff: 512,
+        block_size: 1024,
+        min_blocks_per_thread: 4,
+    };
+    let mut runner = VariantRunner::new(4, config);
+    group.throughput(Throughput::Elements(n as u64));
+    for variant in [
+        Variant::SeqStd,
+        Variant::SeqQs,
+        Variant::Fork,
+        Variant::RayonJoin,
+        Variant::MmPar,
+    ] {
+        group.bench_function(variant.label(), |b| {
+            b.iter(|| runner.measure(variant, &input));
+        });
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    let c = configure(c);
+    bench_deque(c);
+    bench_spawn_overhead(c);
+    bench_team_formation(c);
+    bench_sort_variants(c);
+}
+
+criterion_group!(micro, benches);
+criterion_main!(micro);

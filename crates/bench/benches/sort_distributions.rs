@@ -1,0 +1,65 @@
+//! Criterion benchmark over the paper's four input distributions (experiment
+//! M3 in DESIGN.md): one fixed input size, every distribution × the main
+//! sorting variants.  The tables harness reports absolute seconds in the
+//! paper's layout; this bench gives criterion's statistical view of the same
+//! comparison (and adds the task-parallel sample sort, which the tables do
+//! not include) so regressions in any single variant/distribution pair are
+//! caught.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use teamsteal_bench::{Variant, VariantRunner};
+use teamsteal_core::Scheduler;
+use teamsteal_data::Distribution;
+use teamsteal_sort::{sample_sort, SortConfig};
+
+const THREADS: usize = 4;
+const SIZE: usize = 1 << 19;
+
+fn bench_distributions(c: &mut Criterion) {
+    let config = SortConfig {
+        cutoff: 512,
+        block_size: 1024,
+        min_blocks_per_thread: 4,
+    };
+    let mut runner = VariantRunner::new(THREADS, config.clone());
+    let sample_scheduler = Scheduler::with_threads(THREADS);
+
+    for distribution in Distribution::ALL {
+        let input = distribution.generate(SIZE, THREADS, 4242);
+        let mut group = c.benchmark_group(format!("sort_{}", distribution.label().to_lowercase()));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_secs(1))
+            .throughput(Throughput::Elements(SIZE as u64));
+
+        for variant in [
+            Variant::SeqStd,
+            Variant::Fork,
+            Variant::RandFork,
+            Variant::RayonJoin,
+            Variant::MmPar,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(variant.label(), SIZE),
+                &input,
+                |b, input| b.iter(|| runner.measure(variant, input)),
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("SampleSort", SIZE), &input, |b, input| {
+            b.iter(|| {
+                let mut data = input.clone();
+                sample_sort(&sample_scheduler, &mut data, &config);
+                assert!(teamsteal_data::is_sorted(&data));
+                data
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(sort_distributions, bench_distributions);
+criterion_main!(sort_distributions);

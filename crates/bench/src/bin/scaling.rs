@@ -1,0 +1,280 @@
+//! Speedup-versus-thread-count sweep (the series view of the paper's tables).
+//!
+//! The paper reports its evaluation as tables of absolute times at one thread
+//! count per machine; the natural figure a reader would plot from them is
+//! "speedup over Seq/STL as the number of threads grows".  This harness
+//! produces exactly that series, for the task-parallel (Fork), randomized
+//! (Randfork), rayon (Cilk substitute) and mixed-mode (MMPar) Quicksorts, and
+//! optionally for the mixed-mode application kernels.
+//!
+//! ```text
+//! cargo run -p teamsteal-bench --release --bin scaling -- [options]
+//!
+//!   --size N        input size in elements (default 1<<20)
+//!   --threads LIST  comma separated thread counts (default 1,2,4,8)
+//!   --reps N        repetitions per point (default 5)
+//!   --dist NAME     random | gauss | buckets | staggered (default random)
+//!   --seed N        input seed (default 42)
+//!   --apps          also sweep the application kernels (reduce, scan,
+//!                   merge sort, stencil, bfs, histogram)
+//! ```
+
+use std::time::Duration;
+
+use teamsteal_bench::{Variant, VariantRunner};
+use teamsteal_core::Scheduler;
+use teamsteal_data::Distribution;
+use teamsteal_sort::SortConfig;
+use teamsteal_util::timing::{speedup, time, RunStats};
+
+struct Options {
+    size: usize,
+    threads: Vec<usize>,
+    reps: usize,
+    distribution: Distribution,
+    seed: u64,
+    apps: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        size: 1 << 20,
+        threads: vec![1, 2, 4, 8],
+        reps: 5,
+        distribution: Distribution::Random,
+        seed: 42,
+        apps: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--size" => {
+                opts.size = args
+                    .next()
+                    .ok_or("--size needs a number")?
+                    .parse()
+                    .map_err(|e| format!("bad size: {e}"))?;
+            }
+            "--threads" => {
+                let list = args.next().ok_or("--threads needs a list")?;
+                opts.threads = list
+                    .split(',')
+                    .map(|t| t.trim().parse().map_err(|e| format!("bad thread count: {e}")))
+                    .collect::<Result<Vec<usize>, String>>()?;
+                if opts.threads.is_empty() {
+                    return Err("--threads list is empty".into());
+                }
+            }
+            "--reps" => {
+                opts.reps = args
+                    .next()
+                    .ok_or("--reps needs a number")?
+                    .parse()
+                    .map_err(|e| format!("bad repetition count: {e}"))?;
+            }
+            "--dist" => {
+                let name = args.next().ok_or("--dist needs a name")?.to_lowercase();
+                opts.distribution = match name.as_str() {
+                    "random" => Distribution::Random,
+                    "gauss" => Distribution::Gauss,
+                    "buckets" => Distribution::Buckets,
+                    "staggered" => Distribution::Staggered,
+                    other => return Err(format!("unknown distribution '{other}'")),
+                };
+            }
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .ok_or("--seed needs a number")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--apps" => opts.apps = true,
+            "--help" | "-h" => {
+                println!("{HELP}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+const HELP: &str = "Speedup-vs-threads sweep.
+  --size N         input size (default 1048576)
+  --threads LIST   e.g. 1,2,4,8 (default)
+  --reps N         repetitions per point (default 5)
+  --dist NAME      random | gauss | buckets | staggered
+  --seed N         input seed
+  --apps           also sweep the application kernels";
+
+fn aggregate(reps: usize, mut run: impl FnMut() -> Duration) -> Duration {
+    let mut stats = RunStats::new();
+    for _ in 0..reps.max(1) {
+        stats.record(run());
+    }
+    stats.best()
+}
+
+fn sweep_quicksort(opts: &Options, config: &SortConfig) {
+    let input = opts.distribution.generate(opts.size, 8, opts.seed);
+
+    // Sequential reference (thread-count independent).
+    let mut runner1 = VariantRunner::new(1, config.clone());
+    let seq = aggregate(opts.reps, || runner1.measure(Variant::SeqStd, &input).duration);
+    println!(
+        "Quicksort scaling — {} elements, {:?} distribution, best of {} runs, Seq/STL = {:.3}s",
+        opts.size,
+        opts.distribution,
+        opts.reps,
+        seq.as_secs_f64()
+    );
+    println!(
+        "{:>8} {:>12} {:>6} {:>12} {:>6} {:>12} {:>6} {:>12} {:>6}",
+        "threads", "Fork(s)", "SU", "Randfork(s)", "SU", "Rayon(s)", "SU", "MMPar(s)", "SU"
+    );
+    for &threads in &opts.threads {
+        let mut runner = VariantRunner::new(threads, config.clone());
+        let mut cell = |variant| {
+            let d = aggregate(opts.reps, || runner.measure(variant, &input).duration);
+            (d, speedup(seq, d))
+        };
+        let fork = cell(Variant::Fork);
+        let rand = cell(Variant::RandFork);
+        let rayon = cell(Variant::RayonJoin);
+        let mm = cell(Variant::MmPar);
+        println!(
+            "{:>8} {:>12.3} {:>6.2} {:>12.3} {:>6.2} {:>12.3} {:>6.2} {:>12.3} {:>6.2}",
+            threads,
+            fork.0.as_secs_f64(),
+            fork.1,
+            rand.0.as_secs_f64(),
+            rand.1,
+            rayon.0.as_secs_f64(),
+            rayon.1,
+            mm.0.as_secs_f64(),
+            mm.1
+        );
+    }
+    println!();
+}
+
+fn sweep_apps(opts: &Options) {
+    use teamsteal_apps::bfs::{bfs_mixed_with, CsrGraph};
+    use teamsteal_apps::histogram::histogram_mixed_with;
+    use teamsteal_apps::merge::{merge_sort_mixed_with, MergeSortConfig};
+    use teamsteal_apps::reduce::team_reduce_with;
+    use teamsteal_apps::scan::scan_with;
+    use teamsteal_apps::stencil::{jacobi_mixed, StencilConfig};
+
+    let n = opts.size;
+    let ints: Vec<u64> = (0..n as u64).map(|i| i % 1009).collect();
+    let sort_input = opts.distribution.generate(n, 8, opts.seed);
+    let grid: Vec<f64> = (0..n).map(|i| (i % 101) as f64).collect();
+    let side = ((n as f64).sqrt() as usize).max(2);
+    let graph = CsrGraph::grid(side, side);
+    let stencil_cfg = StencilConfig {
+        sweeps: 10,
+        alpha: 0.25,
+        min_cells_per_member: 4096,
+    };
+    let msort_cfg = MergeSortConfig {
+        leaf_size: 2048,
+        min_elements_per_member: 8192,
+    };
+
+    // Sequential references.
+    let seq_reduce = aggregate(opts.reps, || time(|| ints.iter().sum::<u64>()).0);
+    let seq_scan = aggregate(opts.reps, || {
+        time(|| {
+            let mut acc = 0u64;
+            let mut out = vec![0u64; ints.len()];
+            for (o, &x) in out.iter_mut().zip(&ints) {
+                acc += x;
+                *o = acc;
+            }
+            out
+        })
+        .0
+    });
+    let seq_sort = aggregate(opts.reps, || {
+        time(|| {
+            let mut v = sort_input.clone();
+            v.sort_unstable();
+            v
+        })
+        .0
+    });
+    let seq_stencil = aggregate(opts.reps, || {
+        time(|| teamsteal_apps::stencil::jacobi_sequential(&grid, &stencil_cfg)).0
+    });
+    let seq_bfs = aggregate(opts.reps, || {
+        time(|| teamsteal_apps::bfs::bfs_sequential(&graph, 0)).0
+    });
+    let seq_hist = aggregate(opts.reps, || {
+        time(|| teamsteal_apps::histogram::histogram_sequential(&sort_input, 256)).0
+    });
+
+    println!(
+        "Application-kernel scaling — {} elements / cells, best of {} runs",
+        n, opts.reps
+    );
+    println!(
+        "{:>8} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11}",
+        "threads", "reduce SU", "scan SU", "msort SU", "stencil SU", "bfs SU", "hist SU"
+    );
+    for &threads in &opts.threads {
+        let scheduler = Scheduler::with_threads(threads);
+        let reduce = aggregate(opts.reps, || {
+            time(|| team_reduce_with(&scheduler, &ints, 0u64, |a, b| a + b, 4096)).0
+        });
+        let scan = aggregate(opts.reps, || {
+            let mut out = vec![0u64; ints.len()];
+            time(|| scan_with(&scheduler, &ints, &mut out, 0u64, |a, b| a + b, true, 4096)).0
+        });
+        let msort = aggregate(opts.reps, || {
+            let mut v = sort_input.clone();
+            time(|| merge_sort_mixed_with(&scheduler, &mut v, &msort_cfg)).0
+        });
+        let stencil = aggregate(opts.reps, || {
+            time(|| jacobi_mixed(&scheduler, &grid, &stencil_cfg)).0
+        });
+        let bfs = aggregate(opts.reps, || {
+            time(|| bfs_mixed_with(&scheduler, &graph, 0, 2048)).0
+        });
+        let hist = aggregate(opts.reps, || {
+            time(|| histogram_mixed_with(&scheduler, &sort_input, 256, 4096)).0
+        });
+        println!(
+            "{:>8} {:>11.2} {:>11.2} {:>11.2} {:>11.2} {:>11.2} {:>11.2}",
+            threads,
+            speedup(seq_reduce, reduce),
+            speedup(seq_scan, scan),
+            speedup(seq_sort, msort),
+            speedup(seq_stencil, stencil),
+            speedup(seq_bfs, bfs),
+            speedup(seq_hist, hist),
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let config = SortConfig::default();
+    println!(
+        "teamsteal scaling harness — host parallelism: {}",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+    println!();
+    sweep_quicksort(&opts, &config);
+    if opts.apps {
+        sweep_apps(&opts);
+    }
+}

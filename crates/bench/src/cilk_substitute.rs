@@ -1,0 +1,85 @@
+//! The Cilk++ baseline substitute.
+//!
+//! The paper compares against Cilk++ (a handwritten fork-join Quicksort with
+//! the same cutoff, and the sample Quicksort shipped with the Cilk++
+//! compiler).  Cilk++ is unavailable today, so we substitute **rayon** — the
+//! canonical Rust work-stealing fork/join runtime — in both roles:
+//!
+//! * [`rayon_join_quicksort`] is the same Algorithm-10 Quicksort expressed
+//!   with `rayon::join` (≙ the paper's handwritten "Cilk" column),
+//! * [`rayon_par_sort`] is rayon's built-in `par_sort_unstable` (≙ the
+//!   "Cilk sample" column: the tuned sort shipped with the runtime).
+//!
+//! See DESIGN.md §3 for the substitution rationale.
+
+use rayon::ThreadPool;
+use teamsteal_sort::seq::{median_of_three, split_around};
+use teamsteal_sort::SortConfig;
+
+/// Fork-join Quicksort on a rayon thread pool, mirroring Algorithm 10
+/// (sequential partition, two joined subtasks, cutoff to the library sort).
+pub fn rayon_join_quicksort(pool: &ThreadPool, data: &mut [u32], config: &SortConfig) {
+    let cutoff = config.cutoff.max(1);
+    pool.install(|| quicksort(data, cutoff));
+}
+
+fn quicksort(data: &mut [u32], cutoff: usize) {
+    if data.len() <= cutoff {
+        data.sort_unstable();
+        return;
+    }
+    let pivot = median_of_three(data);
+    let (left_len, right_start) = split_around(data, pivot);
+    let (left, rest) = data.split_at_mut(left_len);
+    let right = &mut rest[right_start - left_len..];
+    rayon::join(|| quicksort(left, cutoff), || quicksort(right, cutoff));
+}
+
+/// Rayon's built-in parallel sort (the "tuned library sort" analogue of the
+/// paper's Cilk sample sort).
+pub fn rayon_par_sort(pool: &ThreadPool, data: &mut [u32]) {
+    use rayon::slice::ParallelSliceMut;
+    pool.install(|| data.par_sort_unstable());
+}
+
+/// Builds a rayon pool with exactly `threads` workers.
+pub fn rayon_pool(threads: usize) -> ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("failed to build rayon pool")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teamsteal_data::{is_permutation_of, is_sorted, Distribution};
+
+    #[test]
+    fn rayon_baselines_sort_correctly() {
+        let pool = rayon_pool(4);
+        for d in Distribution::ALL {
+            let original = d.generate(100_000, 4, 21);
+            let mut a = original.clone();
+            rayon_join_quicksort(&pool, &mut a, &SortConfig::default());
+            assert!(is_sorted(&a));
+            assert!(is_permutation_of(&original, &a));
+
+            let mut b = original.clone();
+            rayon_par_sort(&pool, &mut b);
+            assert!(is_sorted(&b));
+            assert!(is_permutation_of(&original, &b));
+        }
+    }
+
+    #[test]
+    fn rayon_join_quicksort_handles_edge_cases() {
+        let pool = rayon_pool(2);
+        for v in [vec![], vec![1u32], vec![5u32; 10_000]] {
+            let mut s = v.clone();
+            rayon_join_quicksort(&pool, &mut s, &SortConfig::default());
+            assert!(is_sorted(&s));
+            assert!(is_permutation_of(&v, &s));
+        }
+    }
+}

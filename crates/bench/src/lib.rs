@@ -1,0 +1,28 @@
+//! Benchmark harness reproducing the paper's evaluation (Tables 1–10).
+//!
+//! The paper compares, for four input distributions and six input sizes on
+//! four machines, the running time of
+//!
+//! | paper column | this crate |
+//! |---|---|
+//! | Seq/STL | [`Variant::SeqStd`] — `slice::sort_unstable` |
+//! | SeqQS | [`Variant::SeqQs`] — handwritten sequential Quicksort |
+//! | Fork | [`Variant::Fork`] — Algorithm 10 on the deterministic work-stealer |
+//! | Randfork | [`Variant::RandFork`] — Algorithm 10 with uniformly random stealing |
+//! | Cilk | [`Variant::RayonJoin`] — the same fork-join Quicksort on rayon (Cilk++ substitute) |
+//! | Cilk sample | [`Variant::RayonSort`] — rayon's built-in `par_sort_unstable` |
+//! | MMPar | [`Variant::MmPar`] — Algorithm 11 on the team-building work-stealer |
+//!
+//! [`TableSpec`] encodes which table uses which thread count, aggregation
+//! (average vs. best of N) and column set; [`run_table`] regenerates one
+//! table and [`render_table`] prints it in the paper's row/column layout.
+
+#![warn(missing_docs)]
+
+pub mod cilk_substitute;
+pub mod runner;
+pub mod tables;
+
+pub use cilk_substitute::{rayon_join_quicksort, rayon_par_sort};
+pub use runner::{Measurement, Variant, VariantRunner};
+pub use tables::{render_table, run_table, Aggregation, TableResult, TableSpec};

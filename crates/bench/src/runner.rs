@@ -1,0 +1,220 @@
+//! Variant runners: one timed sort execution per (variant, input).
+
+use std::time::Duration;
+
+use teamsteal_core::{Scheduler, StealPolicy};
+use teamsteal_sort::{fork_join_sort, mixed_mode_sort, sequential_quicksort, std_sort, SortConfig};
+use teamsteal_util::timing::time;
+
+use crate::cilk_substitute::{rayon_join_quicksort, rayon_par_sort, rayon_pool};
+
+/// The sorting variants of the paper's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// The best available sequential sort (paper: *Seq/STL*).
+    SeqStd,
+    /// Handwritten sequential Quicksort with cutoff (paper: *SeqQS*).
+    SeqQs,
+    /// Task-parallel Quicksort on the deterministic work-stealer (paper:
+    /// *Fork*).
+    Fork,
+    /// Task-parallel Quicksort with uniformly random victim selection
+    /// (paper: *Randfork*).
+    RandFork,
+    /// Fork-join Quicksort on rayon — the Cilk++ substitute (paper: *Cilk*).
+    RayonJoin,
+    /// Rayon's built-in parallel sort (paper: *Cilk sample*).
+    RayonSort,
+    /// Mixed-mode parallel Quicksort on the team-building work-stealer
+    /// (paper: *MMPar*).
+    MmPar,
+}
+
+impl Variant {
+    /// Column header used when rendering tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Variant::SeqStd => "Seq/STL",
+            Variant::SeqQs => "SeqQS",
+            Variant::Fork => "Fork",
+            Variant::RandFork => "Randfork",
+            Variant::RayonJoin => "Rayon(Cilk)",
+            Variant::RayonSort => "RayonSort",
+            Variant::MmPar => "MMPar",
+        }
+    }
+
+    /// `true` for the variants whose speedup the paper reports in an `SU`
+    /// column (Fork, Cilk and MMPar).
+    pub fn has_speedup_column(&self) -> bool {
+        matches!(self, Variant::Fork | Variant::RayonJoin | Variant::MmPar)
+    }
+}
+
+/// One timed run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Which variant produced it.
+    pub variant: Variant,
+    /// Wall-clock duration of the sort (input generation excluded).
+    pub duration: Duration,
+}
+
+/// Holds the lazily created execution engines (schedulers, rayon pools) so
+/// repeated measurements of one table reuse the same worker threads, as the
+/// paper's prototype does.
+pub struct VariantRunner {
+    threads: usize,
+    config: SortConfig,
+    det: Option<Scheduler>,
+    rand: Option<Scheduler>,
+    team: Option<Scheduler>,
+    rayon: Option<rayon::ThreadPool>,
+}
+
+impl VariantRunner {
+    /// Creates a runner for `threads` worker threads and the given sort
+    /// parameters.
+    pub fn new(threads: usize, config: SortConfig) -> Self {
+        VariantRunner {
+            threads,
+            config,
+            det: None,
+            rand: None,
+            team: None,
+            rayon: None,
+        }
+    }
+
+    /// Number of worker threads this runner targets.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The sort configuration in use.
+    pub fn config(&self) -> &SortConfig {
+        &self.config
+    }
+
+    fn det_scheduler(&mut self) -> &Scheduler {
+        let threads = self.threads;
+        self.det.get_or_insert_with(|| {
+            Scheduler::builder()
+                .threads(threads)
+                .steal_policy(StealPolicy::Deterministic)
+                .build()
+        })
+    }
+
+    fn rand_scheduler(&mut self) -> &Scheduler {
+        let threads = self.threads;
+        self.rand.get_or_insert_with(|| {
+            Scheduler::builder()
+                .threads(threads)
+                .steal_policy(StealPolicy::UniformRandom)
+                .build()
+        })
+    }
+
+    fn team_scheduler(&mut self) -> &Scheduler {
+        let threads = self.threads;
+        self.team.get_or_insert_with(|| {
+            Scheduler::builder()
+                .threads(threads)
+                .steal_policy(StealPolicy::Deterministic)
+                .build()
+        })
+    }
+
+    fn rayon_pool(&mut self) -> &rayon::ThreadPool {
+        let threads = self.threads;
+        self.rayon.get_or_insert_with(|| rayon_pool(threads))
+    }
+
+    /// Sorts a copy of `input` with `variant` and returns the measurement.
+    /// The sorted output is validated (cheap sortedness check) so a broken
+    /// variant can never silently report a good time.
+    pub fn measure(&mut self, variant: Variant, input: &[u32]) -> Measurement {
+        let mut data = input.to_vec();
+        let config = self.config.clone();
+        let (duration, ()) = match variant {
+            Variant::SeqStd => time(|| std_sort(&mut data)),
+            Variant::SeqQs => time(|| sequential_quicksort(&mut data, &config)),
+            Variant::Fork => {
+                let scheduler = self.det_scheduler();
+                time(|| fork_join_sort(scheduler, &mut data, &config))
+            }
+            Variant::RandFork => {
+                let scheduler = self.rand_scheduler();
+                time(|| fork_join_sort(scheduler, &mut data, &config))
+            }
+            Variant::RayonJoin => {
+                let pool = self.rayon_pool();
+                time(|| rayon_join_quicksort(pool, &mut data, &config))
+            }
+            Variant::RayonSort => {
+                let pool = self.rayon_pool();
+                time(|| rayon_par_sort(pool, &mut data))
+            }
+            Variant::MmPar => {
+                let scheduler = self.team_scheduler();
+                time(|| mixed_mode_sort(scheduler, &mut data, &config))
+            }
+        };
+        assert!(
+            teamsteal_data::is_sorted(&data),
+            "{} produced an unsorted result",
+            variant.label()
+        );
+        Measurement { variant, duration }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teamsteal_data::Distribution;
+
+    #[test]
+    fn labels_are_distinct() {
+        let variants = [
+            Variant::SeqStd,
+            Variant::SeqQs,
+            Variant::Fork,
+            Variant::RandFork,
+            Variant::RayonJoin,
+            Variant::RayonSort,
+            Variant::MmPar,
+        ];
+        let mut labels: Vec<&str> = variants.iter().map(|v| v.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), variants.len());
+        assert!(Variant::MmPar.has_speedup_column());
+        assert!(!Variant::SeqQs.has_speedup_column());
+    }
+
+    #[test]
+    fn every_variant_measures_and_sorts() {
+        let input = Distribution::Random.generate(40_000, 4, 33);
+        let config = SortConfig {
+            cutoff: 256,
+            block_size: 512,
+            min_blocks_per_thread: 4,
+        };
+        let mut runner = VariantRunner::new(2, config);
+        for variant in [
+            Variant::SeqStd,
+            Variant::SeqQs,
+            Variant::Fork,
+            Variant::RandFork,
+            Variant::RayonJoin,
+            Variant::RayonSort,
+            Variant::MmPar,
+        ] {
+            let m = runner.measure(variant, &input);
+            assert!(m.duration > Duration::ZERO);
+            assert_eq!(m.variant, variant);
+        }
+    }
+}

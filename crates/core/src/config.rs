@@ -1,0 +1,155 @@
+//! Scheduler configuration and tunable parameters.
+//!
+//! Section 4 of the paper lists the tunables of the prototype: backoff
+//! intervals, the number of tasks to steal, and (for the evaluation) whether
+//! stealing is deterministic or randomized.  [`SchedulerConfig`] collects
+//! them together with the machine topology so benchmarks and ablations can
+//! sweep them.
+
+use std::time::Duration;
+
+use teamsteal_topology::{StealPolicy, Topology};
+
+/// How many tasks a thief transfers per successful steal (Section 4,
+/// "Number of tasks to steal").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StealAmount {
+    /// Steal `2^ℓ` tasks where `ℓ` is the level of the partner the thief
+    /// reached — the paper's default ("if we reached the ℓth partner it is
+    /// likely that all threads in the 2^ℓ block around it are running out of
+    /// tasks, so steal enough for all of them").
+    #[default]
+    TwoToLevel,
+    /// Steal half of the victim's queue (the classic balancing rule of
+    /// Algorithm 3).
+    HalfOfVictim,
+    /// Steal a single task per attempt.
+    One,
+}
+
+impl StealAmount {
+    /// Number of tasks to transfer for a victim queue of `victim_len` tasks
+    /// reached at steal level `level`.  Always at least 1 and never more than
+    /// necessary to leave the victim half of its queue.
+    pub fn amount(self, victim_len: usize, level: usize) -> usize {
+        let half = (victim_len / 2).max(1);
+        match self {
+            StealAmount::TwoToLevel => half.min(1usize << level.min(20)),
+            StealAmount::HalfOfVictim => half,
+            StealAmount::One => 1,
+        }
+    }
+}
+
+/// Configuration of a [`Scheduler`](crate::Scheduler).
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Number of worker threads (the paper's `p`).
+    pub num_threads: usize,
+    /// Machine hierarchy.  Defaults to [`Topology::balanced`] over
+    /// `num_threads`.
+    pub topology: Option<Topology>,
+    /// Victim / partner selection policy.
+    pub steal_policy: StealPolicy,
+    /// Bulk steal size policy.
+    pub steal_amount: StealAmount,
+    /// Seed for the per-worker PRNGs (randomized policies and tie-breaking).
+    pub seed: u64,
+    /// Upper bound on the sleep interval of *idle* workers (queues empty,
+    /// nothing to steal).  The paper uses exponential backoff from 1 µs to
+    /// 10 ms; a lower cap reduces wake-up latency when new root work arrives.
+    pub idle_sleep_cap: Duration,
+    /// Upper bound on the sleep interval of workers polling a coordinator for
+    /// team work.  Kept small so team start-up latency stays bounded.
+    pub member_poll_sleep_cap: Duration,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            num_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            topology: None,
+            steal_policy: StealPolicy::Deterministic,
+            steal_amount: StealAmount::TwoToLevel,
+            seed: 0x7465616d_73746561, // "teamstea(l)"
+            idle_sleep_cap: Duration::from_micros(500),
+            member_poll_sleep_cap: Duration::from_micros(200),
+        }
+    }
+}
+
+impl SchedulerConfig {
+    /// Creates a configuration for `num_threads` workers with all other
+    /// parameters at their defaults.
+    pub fn with_threads(num_threads: usize) -> Self {
+        SchedulerConfig {
+            num_threads,
+            ..Default::default()
+        }
+    }
+
+    /// Resolves the topology: the explicit one if provided (its size must
+    /// match `num_threads`), otherwise a balanced hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an explicit topology disagrees with `num_threads` or if
+    /// `num_threads` is zero.
+    pub fn resolve_topology(&self) -> Topology {
+        assert!(self.num_threads > 0, "scheduler needs at least one thread");
+        match &self.topology {
+            Some(t) => {
+                assert_eq!(
+                    t.num_threads(),
+                    self.num_threads,
+                    "topology size must match num_threads"
+                );
+                t.clone()
+            }
+            None => Topology::balanced(self.num_threads),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_uses_available_parallelism() {
+        let c = SchedulerConfig::default();
+        assert!(c.num_threads >= 1);
+        assert_eq!(c.steal_policy, StealPolicy::Deterministic);
+    }
+
+    #[test]
+    fn steal_amount_policies() {
+        // Victim with 16 tasks, thief at level 2.
+        assert_eq!(StealAmount::TwoToLevel.amount(16, 2), 4);
+        assert_eq!(StealAmount::HalfOfVictim.amount(16, 2), 8);
+        assert_eq!(StealAmount::One.amount(16, 2), 1);
+        // Tiny queues still yield one task.
+        assert_eq!(StealAmount::TwoToLevel.amount(1, 3), 1);
+        assert_eq!(StealAmount::HalfOfVictim.amount(1, 0), 1);
+        // Half-of-victim caps the 2^l rule.
+        assert_eq!(StealAmount::TwoToLevel.amount(8, 5), 4);
+    }
+
+    #[test]
+    fn resolve_topology_balanced_by_default() {
+        let c = SchedulerConfig::with_threads(6);
+        let t = c.resolve_topology();
+        assert_eq!(t.num_threads(), 6);
+        assert_eq!(t.level_sizes(), &[1, 2, 3, 6]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_topology_is_rejected() {
+        let mut c = SchedulerConfig::with_threads(4);
+        c.topology = Some(Topology::balanced(8));
+        let _ = c.resolve_topology();
+    }
+}

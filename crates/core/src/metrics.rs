@@ -1,0 +1,237 @@
+//! Scheduler observability: per-worker and aggregated counters.
+//!
+//! The counters exist for three reasons: the degenerate-case claim of the
+//! paper ("if all tasks require `r = 1` … the additional CAS … are never
+//! executed") is directly testable through them, the ablation benchmarks
+//! report them, and they make scheduler tests meaningful (e.g. "stealing
+//! actually happened" rather than "the result happened to be correct").
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Relaxed event counters owned by one worker.
+#[derive(Debug, Default)]
+pub struct WorkerCounters {
+    /// Sequential (`r = 1`) tasks executed by this worker.
+    pub tasks_executed: AtomicU64,
+    /// Team tasks in whose execution this worker participated.
+    pub team_tasks_executed: AtomicU64,
+    /// Teams formed with this worker as coordinator.
+    pub teams_formed: AtomicU64,
+    /// Successful registrations of this worker at a foreign coordinator
+    /// (each one is exactly one CAS — the paper's "single extra CAS").
+    pub registrations: AtomicU64,
+    /// Successful steal operations (at least one task transferred).
+    pub steals: AtomicU64,
+    /// Tasks received through stealing.
+    pub tasks_stolen: AtomicU64,
+    /// Steal rounds that visited every partner without finding anything.
+    pub failed_steal_rounds: AtomicU64,
+    /// Steals performed while helping a smaller task during coordination
+    /// (Algorithm 8, lines 21–29).
+    pub help_steals: AtomicU64,
+    /// Tasks spawned by tasks running on this worker.
+    pub tasks_spawned: AtomicU64,
+    /// CAS failures on registration structures observed by this worker.
+    pub cas_failures: AtomicU64,
+}
+
+impl WorkerCounters {
+    #[inline]
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increments the sequential-task counter.
+    #[inline]
+    pub fn inc_tasks_executed(&self) {
+        Self::bump(&self.tasks_executed);
+    }
+
+    /// Increments the team-task participation counter.
+    #[inline]
+    pub fn inc_team_tasks_executed(&self) {
+        Self::bump(&self.team_tasks_executed);
+    }
+
+    /// Increments the teams-formed counter.
+    #[inline]
+    pub fn inc_teams_formed(&self) {
+        Self::bump(&self.teams_formed);
+    }
+
+    /// Increments the registration counter.
+    #[inline]
+    pub fn inc_registrations(&self) {
+        Self::bump(&self.registrations);
+    }
+
+    /// Increments the successful-steal counter.
+    #[inline]
+    pub fn inc_steals(&self) {
+        Self::bump(&self.steals);
+    }
+
+    /// Increments the failed-steal-round counter.
+    #[inline]
+    pub fn inc_failed_steal_rounds(&self) {
+        Self::bump(&self.failed_steal_rounds);
+    }
+
+    /// Increments the help-steal counter.
+    #[inline]
+    pub fn inc_help_steals(&self) {
+        Self::bump(&self.help_steals);
+    }
+
+    /// Increments the spawned-task counter.
+    #[inline]
+    pub fn inc_tasks_spawned(&self) {
+        Self::bump(&self.tasks_spawned);
+    }
+
+    /// Increments the registration CAS failure counter.
+    #[inline]
+    pub fn inc_cas_failures(&self) {
+        Self::bump(&self.cas_failures);
+    }
+
+    /// Adds `n` to the stolen-task counter.
+    #[inline]
+    pub fn add_tasks_stolen(&self, n: u64) {
+        self.tasks_stolen.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot of this worker's counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
+            team_tasks_executed: self.team_tasks_executed.load(Ordering::Relaxed),
+            teams_formed: self.teams_formed.load(Ordering::Relaxed),
+            registrations: self.registrations.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            tasks_stolen: self.tasks_stolen.load(Ordering::Relaxed),
+            failed_steal_rounds: self.failed_steal_rounds.load(Ordering::Relaxed),
+            help_steals: self.help_steals.load(Ordering::Relaxed),
+            tasks_spawned: self.tasks_spawned.load(Ordering::Relaxed),
+            cas_failures: self.cas_failures.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of the counters, either of one worker or aggregated
+/// over the whole scheduler.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Sequential tasks executed.
+    pub tasks_executed: u64,
+    /// Team-task executions (counted once per participating worker).
+    pub team_tasks_executed: u64,
+    /// Teams formed (counted at the coordinator).
+    pub teams_formed: u64,
+    /// Successful team registrations.
+    pub registrations: u64,
+    /// Successful steal operations.
+    pub steals: u64,
+    /// Tasks received through stealing.
+    pub tasks_stolen: u64,
+    /// Unsuccessful full steal rounds.
+    pub failed_steal_rounds: u64,
+    /// Help-steals performed during coordination.
+    pub help_steals: u64,
+    /// Tasks spawned from running tasks.
+    pub tasks_spawned: u64,
+    /// Registration CAS failures.
+    pub cas_failures: u64,
+}
+
+impl MetricsSnapshot {
+    /// Element-wise sum of two snapshots.
+    pub fn merge(self, other: MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            tasks_executed: self.tasks_executed + other.tasks_executed,
+            team_tasks_executed: self.team_tasks_executed + other.team_tasks_executed,
+            teams_formed: self.teams_formed + other.teams_formed,
+            registrations: self.registrations + other.registrations,
+            steals: self.steals + other.steals,
+            tasks_stolen: self.tasks_stolen + other.tasks_stolen,
+            failed_steal_rounds: self.failed_steal_rounds + other.failed_steal_rounds,
+            help_steals: self.help_steals + other.help_steals,
+            tasks_spawned: self.tasks_spawned + other.tasks_spawned,
+            cas_failures: self.cas_failures + other.cas_failures,
+        }
+    }
+
+    /// Total number of task executions (sequential + team participations).
+    pub fn total_executions(&self) -> u64 {
+        self.tasks_executed + self.team_tasks_executed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_start_at_zero_and_increment() {
+        let c = WorkerCounters::default();
+        assert_eq!(c.snapshot(), MetricsSnapshot::default());
+        c.inc_tasks_executed();
+        c.inc_tasks_executed();
+        c.inc_teams_formed();
+        c.add_tasks_stolen(5);
+        let s = c.snapshot();
+        assert_eq!(s.tasks_executed, 2);
+        assert_eq!(s.teams_formed, 1);
+        assert_eq!(s.tasks_stolen, 5);
+        assert_eq!(s.total_executions(), 2);
+    }
+
+    #[test]
+    fn every_counter_has_a_working_incrementer() {
+        let c = WorkerCounters::default();
+        c.inc_tasks_executed();
+        c.inc_team_tasks_executed();
+        c.inc_teams_formed();
+        c.inc_registrations();
+        c.inc_steals();
+        c.inc_failed_steal_rounds();
+        c.inc_help_steals();
+        c.inc_tasks_spawned();
+        c.inc_cas_failures();
+        c.add_tasks_stolen(1);
+        let s = c.snapshot();
+        assert_eq!(
+            s,
+            MetricsSnapshot {
+                tasks_executed: 1,
+                team_tasks_executed: 1,
+                teams_formed: 1,
+                registrations: 1,
+                steals: 1,
+                tasks_stolen: 1,
+                failed_steal_rounds: 1,
+                help_steals: 1,
+                tasks_spawned: 1,
+                cas_failures: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let a = MetricsSnapshot {
+            tasks_executed: 1,
+            steals: 2,
+            ..Default::default()
+        };
+        let b = MetricsSnapshot {
+            tasks_executed: 10,
+            registrations: 3,
+            ..Default::default()
+        };
+        let m = a.merge(b);
+        assert_eq!(m.tasks_executed, 11);
+        assert_eq!(m.steals, 2);
+        assert_eq!(m.registrations, 3);
+    }
+}

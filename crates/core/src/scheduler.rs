@@ -1,0 +1,262 @@
+//! The public scheduler front-end: thread pool construction, scopes and
+//! metrics.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use teamsteal_topology::{StealPolicy, Topology};
+
+use crate::config::{SchedulerConfig, StealAmount};
+use crate::context::TaskContext;
+use crate::metrics::MetricsSnapshot;
+use crate::task::{Job, OnceJob, ScopeState, TaskNode, TeamJob};
+use crate::worker::{SchedulerShared, Worker};
+
+/// Builder for a [`Scheduler`].
+///
+/// ```
+/// use teamsteal_core::Scheduler;
+/// use teamsteal_topology::StealPolicy;
+///
+/// let scheduler = Scheduler::builder()
+///     .threads(4)
+///     .steal_policy(StealPolicy::Deterministic)
+///     .build();
+/// assert_eq!(scheduler.num_threads(), 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SchedulerBuilder {
+    config: SchedulerConfig,
+}
+
+impl SchedulerBuilder {
+    /// Sets the number of worker threads (the paper's `p`).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.num_threads = threads;
+        self
+    }
+
+    /// Sets an explicit machine topology (Refinement 3).  Its size must match
+    /// the configured thread count.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.config.topology = Some(topology);
+        self
+    }
+
+    /// Sets the partner / victim selection policy.
+    pub fn steal_policy(mut self, policy: StealPolicy) -> Self {
+        self.config.steal_policy = policy;
+        self
+    }
+
+    /// Sets how many tasks a successful steal transfers.
+    pub fn steal_amount(mut self, amount: StealAmount) -> Self {
+        self.config.steal_amount = amount;
+        self
+    }
+
+    /// Sets the PRNG seed used for randomized stealing.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Overrides the full configuration.
+    pub fn config(mut self, config: SchedulerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Builds the scheduler and starts its worker threads.
+    pub fn build(self) -> Scheduler {
+        Scheduler::new(self.config)
+    }
+}
+
+/// A work-stealing scheduler with deterministic team-building.
+///
+/// The scheduler owns `p` worker threads.  Work is submitted through
+/// [`Scheduler::scope`]; tasks may be sequential (classic work-stealing) or
+/// request `r > 1` threads, in which case a team of `r` consecutively
+/// numbered workers is assembled to execute them cooperatively.
+///
+/// Dropping the scheduler shuts the workers down (after any active scope has
+/// completed, since scopes borrow the scheduler).
+pub struct Scheduler {
+    shared: Arc<SchedulerShared>,
+    threads: Vec<JoinHandle<()>>,
+    steal_policy: StealPolicy,
+}
+
+impl Scheduler {
+    /// Creates a scheduler with the given configuration and starts its
+    /// workers.
+    pub fn new(config: SchedulerConfig) -> Self {
+        let shared = SchedulerShared::new(&config);
+        let mut threads = Vec::with_capacity(shared.num_threads());
+        for id in 0..shared.num_threads() {
+            let shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("teamsteal-worker-{id}"))
+                .spawn(move || {
+                    let mut worker = Worker::new(id, shared);
+                    worker.run_loop();
+                })
+                .expect("failed to spawn worker thread");
+            threads.push(handle);
+        }
+        Scheduler {
+            shared,
+            threads,
+            steal_policy: config.steal_policy,
+        }
+    }
+
+    /// Creates a scheduler with default configuration and the given number of
+    /// threads.
+    pub fn with_threads(threads: usize) -> Self {
+        Self::new(SchedulerConfig::with_threads(threads))
+    }
+
+    /// Returns a [`SchedulerBuilder`].
+    pub fn builder() -> SchedulerBuilder {
+        SchedulerBuilder::default()
+    }
+
+    /// Number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.shared.num_threads()
+    }
+
+    /// The machine topology the scheduler was built with.
+    pub fn topology(&self) -> &Topology {
+        &self.shared.topology
+    }
+
+    /// Runs `f` with a [`Scope`] through which root tasks can be submitted,
+    /// then blocks until **all** tasks spawned within the scope — directly or
+    /// transitively from other tasks — have finished.
+    ///
+    /// If any task panics, the panic is re-thrown here once the remaining
+    /// tasks have drained.
+    pub fn scope<F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'_>) -> R,
+    {
+        let state = ScopeState::new();
+        let scope = Scope {
+            scheduler: self,
+            state: Arc::clone(&state),
+        };
+        let result = f(&scope);
+        state.wait();
+        if let Some(payload) = state.take_panic() {
+            std::panic::resume_unwind(payload);
+        }
+        result
+    }
+
+    /// Convenience wrapper: runs a single sequential root task and waits for
+    /// everything it (transitively) spawns.
+    pub fn run<F>(&self, f: F)
+    where
+        F: FnOnce(&TaskContext<'_>) + Send + 'static,
+    {
+        self.scope(|s| s.spawn(f));
+    }
+
+    /// Convenience wrapper: runs a single team root task requiring `threads`
+    /// workers and waits for everything it (transitively) spawns.
+    pub fn run_team<F>(&self, threads: usize, f: F)
+    where
+        F: Fn(&TaskContext<'_>) + Send + Sync + 'static,
+    {
+        self.scope(|s| s.spawn_team(threads, f));
+    }
+
+    /// Per-worker metric snapshots, indexed by worker id.
+    pub fn worker_metrics(&self) -> Vec<MetricsSnapshot> {
+        self.shared
+            .workers
+            .iter()
+            .map(|w| w.counters.snapshot())
+            .collect()
+    }
+
+    /// Aggregated metrics over all workers.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.worker_metrics()
+            .into_iter()
+            .fold(MetricsSnapshot::default(), MetricsSnapshot::merge)
+    }
+
+    fn check_requirement(&self, requirement: usize) {
+        assert!(requirement >= 1, "a task requires at least one thread");
+        assert!(
+            requirement <= self.num_threads(),
+            "task requires {requirement} threads but the scheduler only has {}",
+            self.num_threads()
+        );
+        if requirement > 1 {
+            assert!(
+                self.steal_policy != StealPolicy::UniformRandom,
+                "team tasks (r > 1) require a hierarchical steal policy; \
+                 StealPolicy::UniformRandom supports only sequential tasks"
+            );
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shared
+            .shutdown
+            .store(true, std::sync::atomic::Ordering::Release);
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+        // Free any leftover nodes (only present if a scope was abandoned).
+        self.shared.drain_leftovers();
+    }
+}
+
+/// Handle for submitting root tasks from outside the worker pool.
+///
+/// Obtained from [`Scheduler::scope`]; all spawned work is accounted to that
+/// scope and the scope call returns only once the work has drained.
+pub struct Scope<'a> {
+    scheduler: &'a Scheduler,
+    state: Arc<ScopeState>,
+}
+
+impl Scope<'_> {
+    /// Submits a sequential (`r = 1`) root task.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&TaskContext<'_>) + Send + 'static,
+    {
+        self.spawn_job(Box::new(OnceJob::new(f)));
+    }
+
+    /// Submits a data-parallel root task requiring `threads` workers.  The
+    /// closure is executed by every member of the team built for it.
+    pub fn spawn_team<F>(&self, threads: usize, f: F)
+    where
+        F: Fn(&TaskContext<'_>) + Send + Sync + 'static,
+    {
+        self.spawn_job(Box::new(TeamJob::new(threads, f)));
+    }
+
+    /// Submits an arbitrary [`Job`] implementation as a root task.
+    pub fn spawn_job(&self, job: Box<dyn Job>) {
+        let requirement = job.requirement();
+        self.scheduler.check_requirement(requirement);
+        let node = TaskNode::allocate(job, requirement, Arc::clone(&self.state));
+        self.scheduler.shared.inject(node);
+    }
+
+    /// Number of worker threads of the underlying scheduler.
+    pub fn num_threads(&self) -> usize {
+        self.scheduler.num_threads()
+    }
+}

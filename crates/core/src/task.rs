@@ -1,0 +1,288 @@
+//! The task model: jobs, task nodes and scope bookkeeping.
+//!
+//! A **job** is the user-provided work description; a **task node** is the
+//! scheduler-internal object that travels through the work-stealing deques,
+//! carries the thread requirement `r` (Section 3 of the paper), and — once a
+//! team has been built for it — the team descriptor and the completion
+//! countdown shared by all executing team members.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::context::TaskContext;
+use crate::team::TeamBarrier;
+
+/// A unit of work understood by the scheduler.
+///
+/// Jobs with [`requirement`](Job::requirement)` == 1` behave exactly like
+/// classic work-stealing tasks: `run` is invoked once, by one worker.  Jobs
+/// with a larger requirement are executed *cooperatively*: once a team of the
+/// required size has been built, **every** team member invokes `run` on the
+/// same job object concurrently, each with a different
+/// [`TaskContext::local_id`].  The job body coordinates its members through
+/// the context (team barrier, local ids) exactly like an SPMD kernel.
+pub trait Job: Send + Sync {
+    /// Number of threads this job requires (the paper's `r`).  Must be at
+    /// least 1 and at most the number of scheduler threads.
+    fn requirement(&self) -> usize {
+        1
+    }
+
+    /// Executes the job.  For team jobs this is called once per team member,
+    /// concurrently.
+    fn run(&self, ctx: &TaskContext<'_>);
+}
+
+/// Adapter: a sequential (`r = 1`) job from a closure that is executed
+/// exactly once.
+pub(crate) struct OnceJob<F: FnOnce(&TaskContext<'_>) + Send> {
+    /// The closure, taken exactly once by the single executing thread.
+    f: UnsafeCell<Option<F>>,
+}
+
+// SAFETY: the closure is only ever taken by the single worker that executes
+// this r = 1 task; the scheduler never shares an `OnceJob` between threads
+// concurrently (see `TaskNode::participants`).
+unsafe impl<F: FnOnce(&TaskContext<'_>) + Send> Sync for OnceJob<F> {}
+
+impl<F: FnOnce(&TaskContext<'_>) + Send> OnceJob<F> {
+    pub(crate) fn new(f: F) -> Self {
+        OnceJob {
+            f: UnsafeCell::new(Some(f)),
+        }
+    }
+}
+
+impl<F: FnOnce(&TaskContext<'_>) + Send> Job for OnceJob<F> {
+    fn requirement(&self) -> usize {
+        1
+    }
+
+    fn run(&self, ctx: &TaskContext<'_>) {
+        // SAFETY: r = 1 tasks are executed by exactly one thread, exactly
+        // once; no other reference to the cell can exist at this point.
+        let f = unsafe { (*self.f.get()).take() };
+        if let Some(f) = f {
+            f(ctx);
+        }
+    }
+}
+
+/// Adapter: a team job (`r >= 1`) from a shared closure executed by every
+/// team member.
+pub(crate) struct TeamJob<F: Fn(&TaskContext<'_>) + Send + Sync> {
+    requirement: usize,
+    f: F,
+}
+
+impl<F: Fn(&TaskContext<'_>) + Send + Sync> TeamJob<F> {
+    pub(crate) fn new(requirement: usize, f: F) -> Self {
+        TeamJob { requirement, f }
+    }
+}
+
+impl<F: Fn(&TaskContext<'_>) + Send + Sync> Job for TeamJob<F> {
+    fn requirement(&self) -> usize {
+        self.requirement
+    }
+
+    fn run(&self, ctx: &TaskContext<'_>) {
+        (self.f)(ctx);
+    }
+}
+
+/// Completion bookkeeping for one `Scheduler::scope` invocation.
+///
+/// Every spawned task increments `pending`; the last team member to finish a
+/// task decrements it.  The scope call blocks until the counter returns to
+/// zero, which doubles as the termination detection of the scheduler run
+/// (see DESIGN.md §3 for why this replaces the paper's unspecified idle
+/// registration protocol).
+pub struct ScopeState {
+    pending: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+    /// First panic payload raised by a task of this scope, if any.  It is
+    /// re-thrown by `Scheduler::scope` after all tasks have drained, so a
+    /// panicking task aborts the scope instead of wedging the scheduler.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl ScopeState {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(ScopeState {
+            pending: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+            panic: Mutex::new(None),
+        })
+    }
+
+    /// Records the payload of a panicking task (first one wins).
+    pub(crate) fn record_panic(&self, payload: Box<dyn std::any::Any + Send>) {
+        let mut slot = self.panic.lock().expect("scope panic slot poisoned");
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    /// Takes the recorded panic payload, if any.
+    pub(crate) fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        self.panic.lock().expect("scope panic slot poisoned").take()
+    }
+
+    /// Registers one more outstanding task.
+    pub(crate) fn task_spawned(&self) {
+        self.pending.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Marks one task as fully finished (all team members done).
+    pub(crate) fn task_finished(&self) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = self.lock.lock().expect("scope lock poisoned");
+            self.cv.notify_all();
+        }
+    }
+
+    /// Number of not-yet-finished tasks.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn pending(&self) -> usize {
+        self.pending.load(Ordering::Acquire)
+    }
+
+    /// Blocks until every task spawned in this scope has finished.
+    pub(crate) fn wait(&self) {
+        let mut guard = self.lock.lock().expect("scope lock poisoned");
+        while self.pending.load(Ordering::Acquire) != 0 {
+            let (g, _timeout) = self
+                .cv
+                .wait_timeout(guard, std::time::Duration::from_millis(5))
+                .expect("scope lock poisoned");
+            guard = g;
+        }
+    }
+}
+
+/// The scheduler-internal representation of one spawned task.
+///
+/// Allocated on spawn, pushed into a deque as a raw pointer, and freed by the
+/// last team member that finishes executing it.
+pub struct TaskNode {
+    /// The user job.
+    pub(crate) job: Box<dyn Job>,
+    /// Thread requirement `r` as requested at spawn time.
+    pub(crate) requirement: usize,
+    /// Scope this task belongs to (for completion counting).
+    pub(crate) scope: Arc<ScopeState>,
+    /// Team descriptor, written by the coordinator *before* the task is
+    /// published and read by team members *after* they observe the
+    /// publication (the publication seqlock provides the ordering).
+    pub(crate) team_base: UnsafeCell<usize>,
+    pub(crate) team_size: UnsafeCell<usize>,
+    /// Barrier shared by the team for this task, sized at publication time.
+    pub(crate) barrier: UnsafeCell<Option<Arc<TeamBarrier>>>,
+    /// Team members that have not yet finished running this task.  The last
+    /// one to decrement frees the node and notifies the scope.
+    pub(crate) participants: AtomicU32,
+}
+
+// SAFETY: the UnsafeCell fields are written only by the coordinating worker
+// before publication and read only after the publication is observed through
+// an acquire load; `participants` and `job` are themselves thread-safe.
+unsafe impl Send for TaskNode {}
+unsafe impl Sync for TaskNode {}
+
+impl TaskNode {
+    pub(crate) fn new(job: Box<dyn Job>, requirement: usize, scope: Arc<ScopeState>) -> Self {
+        TaskNode {
+            job,
+            requirement,
+            scope,
+            team_base: UnsafeCell::new(0),
+            team_size: UnsafeCell::new(1),
+            barrier: UnsafeCell::new(None),
+            participants: AtomicU32::new(1),
+        }
+    }
+
+    /// Allocates a node and returns the raw pointer that travels through the
+    /// deques.  The scope's pending counter is incremented here.
+    pub(crate) fn allocate(
+        job: Box<dyn Job>,
+        requirement: usize,
+        scope: Arc<ScopeState>,
+    ) -> *mut TaskNode {
+        scope.task_spawned();
+        Box::into_raw(Box::new(TaskNode::new(job, requirement, scope)))
+    }
+}
+
+/// A word-sized handle to a [`TaskNode`] as stored in the work-stealing
+/// deques.  The handle does not own the node; ownership is tracked by the
+/// execution protocol (a node is freed by the last finishing participant, or
+/// by the scheduler when draining queues at shutdown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct TaskPtr(pub(crate) *mut TaskNode);
+
+// SAFETY: TaskPtr is just an address; the pointee is Send + Sync.
+unsafe impl Send for TaskPtr {}
+unsafe impl Sync for TaskPtr {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn scope_counts_down_to_zero() {
+        let scope = ScopeState::new();
+        scope.task_spawned();
+        scope.task_spawned();
+        assert_eq!(scope.pending(), 2);
+        scope.task_finished();
+        assert_eq!(scope.pending(), 1);
+        scope.task_finished();
+        assert_eq!(scope.pending(), 0);
+        // wait() returns immediately when nothing is pending.
+        scope.wait();
+    }
+
+    #[test]
+    fn scope_wait_blocks_until_finished() {
+        let scope = ScopeState::new();
+        scope.task_spawned();
+        let released = Arc::new(AtomicBool::new(false));
+        let waiter = {
+            let scope = Arc::clone(&scope);
+            let released = Arc::clone(&released);
+            std::thread::spawn(move || {
+                scope.wait();
+                released.load(Ordering::SeqCst)
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        released.store(true, Ordering::SeqCst);
+        scope.task_finished();
+        assert!(waiter.join().unwrap(), "wait returned before task finished");
+    }
+
+    #[test]
+    fn allocate_increments_pending_and_sets_defaults() {
+        let scope = ScopeState::new();
+        let ptr = TaskNode::allocate(
+            Box::new(TeamJob::new(4, |_ctx: &TaskContext<'_>| {})),
+            4,
+            Arc::clone(&scope),
+        );
+        assert_eq!(scope.pending(), 1);
+        // SAFETY: we just allocated it and nothing else references it.
+        let node = unsafe { Box::from_raw(ptr) };
+        assert_eq!(node.requirement, 4);
+        assert_eq!(node.job.requirement(), 4);
+        assert_eq!(node.participants.load(Ordering::Relaxed), 1);
+        drop(node);
+        scope.task_finished();
+        assert_eq!(scope.pending(), 0);
+    }
+}

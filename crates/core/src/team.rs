@@ -1,0 +1,148 @@
+//! Intra-team synchronization: the team barrier.
+//!
+//! Once a team has been built for a data-parallel task, its members execute
+//! the task cooperatively and typically need to synchronize between phases
+//! (the mixed-mode Quicksort's parallel partitioning, for example, has a
+//! block-neutralization phase followed by a cleanup phase).  The paper leaves
+//! intra-team communication to the application — members are given
+//! consecutive local ids "such that the co-scheduled tasks have a means of
+//! identifying and communicating with each other" — so this crate provides
+//! the one primitive every such application needs: a reusable,
+//! sense-reversing barrier sized to the team.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use teamsteal_util::Backoff;
+
+/// A reusable sense-reversing barrier for a fixed number of participants.
+///
+/// The barrier spins briefly and then yields / sleeps (via
+/// [`teamsteal_util::Backoff`]), so it behaves acceptably even when the team
+/// is over-subscribed onto fewer hardware threads than members.
+#[derive(Debug)]
+pub struct TeamBarrier {
+    participants: usize,
+    remaining: AtomicUsize,
+    sense: AtomicBool,
+}
+
+impl TeamBarrier {
+    /// Creates a barrier for `participants` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participants == 0`.
+    pub fn new(participants: usize) -> Self {
+        assert!(participants > 0, "a barrier needs at least one participant");
+        TeamBarrier {
+            participants,
+            remaining: AtomicUsize::new(participants),
+            sense: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of threads that must arrive before the barrier opens.
+    pub fn participants(&self) -> usize {
+        self.participants
+    }
+
+    /// Blocks until all participants have called `wait`.  Returns `true` on
+    /// exactly one participant per round (the last arriver), which is handy
+    /// for single-threaded epilogue work.
+    pub fn wait(&self) -> bool {
+        let sense = self.sense.load(Ordering::Relaxed);
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last arriver: reset and flip the sense to release everyone.
+            self.remaining.store(self.participants, Ordering::Relaxed);
+            self.sense.store(!sense, Ordering::Release);
+            true
+        } else {
+            let mut backoff = Backoff::new();
+            while self.sense.load(Ordering::Acquire) == sense {
+                backoff.wait();
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize as Counter;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_participant_never_blocks() {
+        let b = TeamBarrier::new(1);
+        for _ in 0..10 {
+            assert!(b.wait());
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_participants_rejected() {
+        let _ = TeamBarrier::new(0);
+    }
+
+    #[test]
+    fn phases_are_separated() {
+        // Every thread increments a counter in phase 1; after the barrier all
+        // threads must observe the full phase-1 total.
+        const THREADS: usize = 4;
+        const ROUNDS: usize = 25;
+        let barrier = Arc::new(TeamBarrier::new(THREADS));
+        let counter = Arc::new(Counter::new(0));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for round in 0..ROUNDS {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        barrier.wait();
+                        let expected = (round + 1) * THREADS;
+                        assert!(counter.load(Ordering::SeqCst) >= expected);
+                        barrier.wait();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), THREADS * ROUNDS);
+    }
+
+    #[test]
+    fn exactly_one_leader_per_round() {
+        const THREADS: usize = 3;
+        const ROUNDS: usize = 50;
+        let barrier = Arc::new(TeamBarrier::new(THREADS));
+        let leaders = Arc::new(Counter::new(0));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let leaders = Arc::clone(&leaders);
+                std::thread::spawn(move || {
+                    for _ in 0..ROUNDS {
+                        if barrier.wait() {
+                            leaders.fetch_add(1, Ordering::SeqCst);
+                        }
+                        // Second barrier so rounds cannot overlap; it too has
+                        // exactly one leader.
+                        if barrier.wait() {
+                            leaders.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // One leader per wait-round; there are 2 * ROUNDS rounds in total.
+        assert_eq!(leaders.load(Ordering::SeqCst), 2 * ROUNDS);
+    }
+}

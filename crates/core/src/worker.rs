@@ -1,0 +1,921 @@
+//! The worker loop: classic work-stealing generalized with deterministic
+//! team-building (Algorithms 5–9 of the paper).
+//!
+//! Each worker owns one entry of the shared per-thread state array (the
+//! paper's `ThreadRef[]`) and runs [`Worker::run_loop`].  The loop is a
+//! faithful — but explicitly clarified — implementation of the paper's
+//! modified `getTask` / `stealTasks` / `coordinateTask` / `pollPartners` /
+//! `switchToCoordinator` procedures; every deliberate clarification or
+//! deviation is marked with a `paper:` comment and summarized in DESIGN.md §5.
+
+use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use teamsteal_deque::{Deque, Steal};
+use teamsteal_registration::{AcquireOutcome, AtomicRegistration, ReleaseOutcome};
+use teamsteal_topology::{StealPolicy, Topology};
+use teamsteal_util::rng::{worker_rng, Xoshiro256};
+use teamsteal_util::{Backoff, CachePadded};
+
+use crate::config::{SchedulerConfig, StealAmount};
+use crate::context::{SpawnTarget, TaskContext};
+use crate::metrics::WorkerCounters;
+use crate::task::{TaskNode, TaskPtr};
+use crate::team::TeamBarrier;
+
+/// Per-worker state visible to other workers (the paper's per-thread
+/// data structure reachable through `ThreadRef[]`).
+pub(crate) struct WorkerShared {
+    /// Fixed worker id `I` (kept for debugging / future NUMA pinning).
+    #[allow(dead_code)]
+    pub(crate) id: usize,
+    /// One deque per hierarchy level (Refinement 1): queue `ℓ` holds tasks
+    /// whose requirement maps to level `ℓ` for this worker.
+    pub(crate) queues: Vec<Deque<TaskPtr>>,
+    /// The packed registration structure `R = {r, a, t, N}`.
+    pub(crate) reg: AtomicRegistration,
+    /// Id of the coordinator this worker is registered with (self ⇒ none).
+    /// Written only by the owning worker.
+    pub(crate) coordinator: AtomicUsize,
+    /// Publication seqlock: even ⇒ stable, odd ⇒ publication in progress.
+    /// Monotonically increasing, so members can tell new tasks from ones they
+    /// have already executed (the paper's "remember the last executed task").
+    pub(crate) publish_seq: AtomicU64,
+    /// The published team task (`c.task` in the paper).
+    pub(crate) publish_task: AtomicPtr<TaskNode>,
+    /// First worker id of the published task's team.
+    pub(crate) publish_base: AtomicUsize,
+    /// Team size of the published task.
+    pub(crate) publish_size: AtomicUsize,
+    /// Start countdown `G`: non-coordinator members that have not yet picked
+    /// up the published task.
+    pub(crate) start_countdown: AtomicU32,
+    /// Event counters.
+    pub(crate) counters: WorkerCounters,
+}
+
+impl WorkerShared {
+    fn new(id: usize, queue_levels: usize) -> Self {
+        WorkerShared {
+            id,
+            queues: (0..queue_levels).map(|_| Deque::new()).collect(),
+            reg: AtomicRegistration::new(),
+            coordinator: AtomicUsize::new(id),
+            publish_seq: AtomicU64::new(0),
+            publish_task: AtomicPtr::new(std::ptr::null_mut()),
+            publish_base: AtomicUsize::new(0),
+            publish_size: AtomicUsize::new(0),
+            start_countdown: AtomicU32::new(0),
+            counters: WorkerCounters::default(),
+        }
+    }
+
+    /// Returns the index of the lowest non-empty queue, if any.
+    fn lowest_nonempty_level(&self) -> Option<usize> {
+        self.queues.iter().position(|q| !q.is_empty())
+    }
+}
+
+/// State shared by all workers of one scheduler.
+pub(crate) struct SchedulerShared {
+    pub(crate) workers: Vec<CachePadded<WorkerShared>>,
+    pub(crate) topology: Topology,
+    pub(crate) steal_policy: StealPolicy,
+    pub(crate) steal_amount: StealAmount,
+    pub(crate) idle_sleep_cap: std::time::Duration,
+    pub(crate) member_poll_sleep_cap: std::time::Duration,
+    pub(crate) seed: u64,
+    /// External injection queue for root tasks submitted by `Scheduler::scope`.
+    pub(crate) injector: Mutex<VecDeque<TaskPtr>>,
+    pub(crate) shutdown: AtomicBool,
+}
+
+impl SchedulerShared {
+    pub(crate) fn new(config: &SchedulerConfig) -> Arc<Self> {
+        let topology = config.resolve_topology();
+        let p = topology.num_threads();
+        let queue_levels = topology.num_queue_levels();
+        Arc::new(SchedulerShared {
+            workers: (0..p)
+                .map(|id| CachePadded::new(WorkerShared::new(id, queue_levels)))
+                .collect(),
+            topology,
+            steal_policy: config.steal_policy,
+            steal_amount: config.steal_amount,
+            idle_sleep_cap: config.idle_sleep_cap,
+            member_poll_sleep_cap: config.member_poll_sleep_cap,
+            seed: config.seed,
+            injector: Mutex::new(VecDeque::new()),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    pub(crate) fn num_threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Injects a root task from outside the worker pool.
+    pub(crate) fn inject(&self, ptr: *mut TaskNode) {
+        self.injector
+            .lock()
+            .expect("injector poisoned")
+            .push_back(TaskPtr(ptr));
+    }
+
+    /// Frees any task nodes still sitting in queues or the injector.  Called
+    /// by the scheduler after all workers have exited (only relevant when a
+    /// scope was abandoned because a task panicked).
+    pub(crate) fn drain_leftovers(&self) {
+        let mut leftovers: Vec<TaskPtr> = Vec::new();
+        leftovers.extend(self.injector.lock().expect("injector poisoned").drain(..));
+        for w in &self.workers {
+            for q in &w.queues {
+                while let Some(ptr) = q.pop_bottom() {
+                    leftovers.push(ptr);
+                }
+            }
+        }
+        for TaskPtr(ptr) in leftovers {
+            // SAFETY: the node was allocated by TaskNode::allocate and nobody
+            // else references it once it has been drained from the queue.
+            let node = unsafe { Box::from_raw(ptr) };
+            let scope = Arc::clone(&node.scope);
+            drop(node);
+            scope.task_finished();
+        }
+    }
+}
+
+/// Outcome of one `pollPartners` round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PollOutcome {
+    /// The caller switched to (registered with) a different coordinator.
+    Switched,
+    /// The caller stole smaller tasks to help a partner finish.
+    Helped,
+    /// Nothing changed.
+    Nothing,
+}
+
+/// Worker-local (unshared) state plus a handle to the shared state.
+pub(crate) struct Worker {
+    pub(crate) id: usize,
+    pub(crate) shared: Arc<SchedulerShared>,
+    rng: Xoshiro256,
+    /// Highest publication sequence number already handled, per coordinator.
+    last_seen_seq: Vec<u64>,
+    /// Renewal counter recorded at registration time, per coordinator.
+    registered_counter: Vec<u16>,
+}
+
+impl Worker {
+    pub(crate) fn new(id: usize, shared: Arc<SchedulerShared>) -> Self {
+        let p = shared.num_threads();
+        let rng = worker_rng(shared.seed, id);
+        Worker {
+            id,
+            shared,
+            rng,
+            last_seen_seq: vec![0; p],
+            registered_counter: vec![0; p],
+        }
+    }
+
+    #[inline]
+    fn me(&self) -> &WorkerShared {
+        &self.shared.workers[self.id]
+    }
+
+    /// `true` when the `TEAMSTEAL_STALL_DEBUG` environment variable is set:
+    /// long-running waits then print a one-line state dump of every worker at
+    /// exponentially spaced intervals, which is the intended way to diagnose
+    /// a scheduler that appears to make no progress.
+    fn stall_debug_enabled() -> bool {
+        static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        *ENABLED.get_or_init(|| std::env::var_os("TEAMSTEAL_STALL_DEBUG").is_some())
+    }
+
+    /// Prints the scheduler-wide state when a wait loop has gone around
+    /// `rounds` times without progress (only at rounds 512, 2048, 8192, …,
+    /// and only when stall debugging is enabled).
+    fn stall_report(&self, site: &str, rounds: u32) {
+        if !Self::stall_debug_enabled() {
+            return;
+        }
+        if rounds < 512 || rounds.count_ones() != 1 {
+            return;
+        }
+        let mut line = format!(
+            "[teamsteal stall] worker {} at {site} after {rounds} rounds | injector={}",
+            self.id,
+            self.shared.injector.lock().map(|q| q.len()).unwrap_or(0)
+        );
+        for (i, w) in self.shared.workers.iter().enumerate() {
+            let reg = w.reg.load();
+            let qlens: Vec<usize> = w.queues.iter().map(|q| q.len()).collect();
+            line.push_str(&format!(
+                " | w{i}: coord={} r={} a={} t={} n={} G={} q={qlens:?}",
+                w.coordinator.load(Ordering::Relaxed),
+                reg.required,
+                reg.acquired,
+                reg.teamed,
+                reg.counter,
+                w.start_countdown.load(Ordering::Relaxed),
+            ));
+        }
+        eprintln!("{line}");
+    }
+
+    #[inline]
+    fn topo(&self) -> &Topology {
+        &self.shared.topology
+    }
+
+    /// The scheduler's main loop (the paper's Algorithm 1 + Algorithm 5).
+    pub(crate) fn run_loop(&mut self) {
+        let mut idle = Backoff::new();
+        loop {
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let coordinator = self.me().coordinator.load(Ordering::Relaxed);
+            if coordinator != self.id {
+                // paper: Algorithm 5 lines 7–14 — this worker is registered
+                // with another coordinator; run its published task or help.
+                self.member_step(coordinator, &mut idle);
+                continue;
+            }
+            // Refinement 1: while a team is formed, keep working on the queue
+            // of that size before looking at smaller tasks.
+            if let Some(level) = self.preferred_level() {
+                idle.reset();
+                self.work_on_level(level);
+                continue;
+            }
+            // All local queues are empty.  Dissolve any team we coordinate
+            // (Lemma 1: "the team will dissolve ... as soon as the current
+            // coordinator's queue runs empty") and go stealing.
+            self.release_team_if_any();
+            if self.pop_injected() || self.steal_round() {
+                idle.reset();
+                continue;
+            }
+            self.me().counters.inc_failed_steal_rounds();
+            self.stall_report("idle/steal", idle.rounds());
+            idle.wait_capped(self.shared.idle_sleep_cap);
+        }
+    }
+
+    /// The queue level this worker should work on next: the formed team's
+    /// level while its queue is non-empty (Refinement 1), otherwise the
+    /// lowest non-empty level (smallest tasks first).
+    fn preferred_level(&self) -> Option<usize> {
+        let reg = self.me().reg.load();
+        if reg.teamed > 1 {
+            let team_level = self
+                .topo()
+                .level_for_requirement(self.id, reg.teamed as usize);
+            if !self.me().queues[team_level].is_empty() {
+                return Some(team_level);
+            }
+        }
+        self.me().lowest_nonempty_level()
+    }
+
+    // ------------------------------------------------------------------
+    // Own-queue execution and coordination
+    // ------------------------------------------------------------------
+
+    fn work_on_level(&mut self, level: usize) {
+        let group = self.topo().group_range(self.id, level);
+        if group.len() == 1 {
+            // Degenerate case (r = 1): exactly classic work-stealing — no
+            // registration CAS, no publication (paper, Section 3.1).  If we
+            // still hold a larger team from earlier work, resize it away so
+            // its members do not wait on us needlessly (Refinement 1: the
+            // team is resized to work on a queue containing smaller tasks).
+            if self.me().reg.load().teamed > 1 {
+                self.release_team_if_any();
+            }
+            if let Some(TaskPtr(ptr)) = self.me().queues[level].pop_bottom() {
+                self.run_singleton(ptr);
+            }
+        } else {
+            self.coordinate_level(level);
+        }
+    }
+
+    fn run_singleton(&mut self, ptr: *mut TaskNode) {
+        // SAFETY: the node stays alive until the last participant (here: only
+        // us) finishes it.
+        let node = unsafe { &*ptr };
+        let ctx = TaskContext {
+            worker: &*self,
+            scope: &node.scope,
+            requested: node.requirement,
+            team_size: 1,
+            team_base: self.id,
+            local_id: 0,
+            barrier: None,
+        };
+        Self::run_job(node, &ctx);
+        drop(ctx);
+        self.me().counters.inc_tasks_executed();
+        self.finish_node(ptr);
+    }
+
+    /// Runs a job body, converting panics into a recorded scope failure so a
+    /// panicking task cannot wedge the whole scheduler.
+    fn run_job(node: &TaskNode, ctx: &TaskContext<'_>) {
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| node.job.run(ctx)));
+        if let Err(payload) = result {
+            node.scope.record_panic(payload);
+        }
+    }
+
+    fn finish_node(&self, ptr: *mut TaskNode) {
+        // SAFETY: node is alive until the last participant decrements.
+        let node = unsafe { &*ptr };
+        if node.participants.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // SAFETY: we are the last participant; nobody else will touch it.
+            let node = unsafe { Box::from_raw(ptr) };
+            let scope = Arc::clone(&node.scope);
+            drop(node);
+            scope.task_finished();
+        }
+    }
+
+    /// The paper's `coordinateTask` (Algorithm 6), generalized to one call
+    /// per queue level: build (or reuse) the team for this level's group and
+    /// execute the tasks in the level's queue with it.
+    fn coordinate_level(&mut self, level: usize) {
+        let me = self.id;
+        let group = self.topo().group_range(me, level);
+        let team_size = group.len();
+
+        // Adjust the advertised requirement.  paper: "r is modified every
+        // time a new task is added to the bottom of the queue"; here we also
+        // (re-)announce it when we start coordinating the level.
+        let cur = self.me().reg.load();
+        if (cur.teamed as usize) > team_size {
+            // Next task is smaller than the current team: shrink (Section 3.1).
+            self.wait_countdown_zero();
+            self.me().reg.shrink_team(team_size as u16);
+        } else if cur.teamed > 1 && (cur.teamed as usize) < team_size {
+            // paper, Section 3.1: "If the next task is larger, the coordinator
+            // breaks up the team as soon as execution of the previous task has
+            // finished.  This is done by setting t = 1.  The team for the
+            // larger task then has to be rebuilt from scratch."  Keeping the
+            // smaller team formed here deadlocks: its members may never leave
+            // a formed team, and a coordinator of a formed team never switches
+            // to a competing coordinator, so two half-machine teams that both
+            // want to grow wait on each other forever.
+            self.wait_countdown_zero();
+            self.me().reg.disband();
+            self.me().reg.push_requirement(team_size as u16);
+        } else if (cur.required as usize) != team_size {
+            self.me().reg.push_requirement(team_size as u16);
+        }
+
+        let mut backoff = Backoff::new();
+        loop {
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let reg = self.me().reg.load();
+            let team_formed = reg.teamed as usize == team_size;
+            if !team_formed {
+                // Smaller tasks take priority until the team exists
+                // (Lemma 1: "tasks requiring less threads are always
+                // prioritized").
+                if let Some(l) = self.me().lowest_nonempty_level() {
+                    if l < level {
+                        return;
+                    }
+                }
+            }
+            if self.me().queues[level].is_empty() {
+                // Nothing left at this level (drained or stolen away); the
+                // main loop decides what to do with the team next.
+                return;
+            }
+            if reg.is_complete() {
+                let ready = if team_formed {
+                    true
+                } else {
+                    match self.me().reg.try_form_team() {
+                        Some(_) => {
+                            self.me().counters.inc_teams_formed();
+                            true
+                        }
+                        None => {
+                            self.me().counters.inc_cas_failures();
+                            false
+                        }
+                    }
+                };
+                if ready {
+                    match self.me().queues[level].pop_bottom() {
+                        Some(TaskPtr(ptr)) => {
+                            self.execute_team_task_as_coordinator(ptr, group.start, team_size);
+                            backoff.reset();
+                        }
+                        None => return,
+                    }
+                }
+            } else {
+                // Not enough threads yet: poll the partners required for this
+                // team (Algorithm 8), possibly helping or switching.
+                match self.poll_partners(me, team_size, level) {
+                    PollOutcome::Switched | PollOutcome::Helped => return,
+                    PollOutcome::Nothing => {
+                        self.stall_report("coordinate_level", backoff.rounds());
+                        backoff.wait_capped(self.shared.member_poll_sleep_cap);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Publishes `ptr` to the (already formed) team and executes the
+    /// coordinator's share.
+    fn execute_team_task_as_coordinator(&mut self, ptr: *mut TaskNode, base: usize, team_size: usize) {
+        debug_assert!(team_size >= 2);
+        let me = self.id;
+        // SAFETY: the node is alive; we are the only thread that can publish
+        // it (it came out of our own queue) and no member can see it before
+        // the publication below.
+        let node = unsafe { &*ptr };
+        unsafe {
+            *node.team_base.get() = base;
+            *node.team_size.get() = team_size;
+            *node.barrier.get() = Some(Arc::new(TeamBarrier::new(team_size)));
+        }
+        node.participants.store(team_size as u32, Ordering::Release);
+
+        // The start countdown G (Section 3): all other members must pick the
+        // task up before we may publish the next one or change the team.
+        self.me()
+            .start_countdown
+            .store((team_size - 1) as u32, Ordering::SeqCst);
+
+        // Publication seqlock: odd while writing, even when stable.
+        let seq = self.me().publish_seq.load(Ordering::Relaxed);
+        debug_assert!(seq % 2 == 0);
+        self.me().publish_seq.store(seq + 1, Ordering::SeqCst);
+        self.me().publish_base.store(base, Ordering::SeqCst);
+        self.me().publish_size.store(team_size, Ordering::SeqCst);
+        self.me().publish_task.store(ptr, Ordering::SeqCst);
+        self.me().publish_seq.store(seq + 2, Ordering::SeqCst);
+
+        // Run our own share of the task.
+        // SAFETY: barrier was just written by us.
+        let barrier = unsafe { (*node.barrier.get()).as_ref() };
+        let ctx = TaskContext {
+            worker: &*self,
+            scope: &node.scope,
+            requested: node.requirement,
+            team_size,
+            team_base: base,
+            local_id: me - base,
+            barrier,
+        };
+        Self::run_job(node, &ctx);
+        drop(ctx);
+        self.me().counters.inc_team_tasks_executed();
+        self.finish_node(ptr);
+        // Wait until every member has started before allowing the next
+        // publication or any registration change (Algorithm 5, lines 1–4).
+        self.wait_countdown_zero();
+    }
+
+    fn wait_countdown_zero(&self) {
+        let mut backoff = Backoff::new();
+        while self.me().start_countdown.load(Ordering::Acquire) > 0 {
+            self.stall_report("wait_countdown", backoff.rounds());
+            backoff.wait_capped(self.shared.member_poll_sleep_cap);
+        }
+    }
+
+    /// Dissolves the team / withdraws the requirement advertisement when this
+    /// worker has run out of local work.
+    fn release_team_if_any(&mut self) {
+        let reg = self.me().reg.load();
+        if reg.teamed > 1 || reg.required > 1 {
+            self.wait_countdown_zero();
+            self.me().reg.disband();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Member (registered-at-a-coordinator) behaviour
+    // ------------------------------------------------------------------
+
+    /// One step of a worker that is registered with coordinator `cid`
+    /// (Algorithm 5, lines 7–14).
+    fn member_step(&mut self, cid: usize, backoff: &mut Backoff) {
+        let me = self.id;
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            self.leave_coordinator();
+            return;
+        }
+        self.stall_report("member_step", backoff.rounds());
+        // 1. Is there a published task for us?
+        if let Some((ptr, base, size, seq)) = self.read_publication(cid) {
+            self.last_seen_seq[cid] = seq;
+            if (base..base + size).contains(&me) {
+                self.shared.workers[cid]
+                    .start_countdown
+                    .fetch_sub(1, Ordering::AcqRel);
+                self.run_team_member(ptr, base, size);
+                backoff.reset();
+                return;
+            }
+            // A task for a team that does not include us — nothing to do with
+            // it; fall through to the validity checks.
+        }
+        let creg = self.shared.workers[cid].reg.load();
+        // 2. Are we part of a formed team?  Then we only poll for work
+        // (Section 3: "Teamed up threads are not allowed to do any
+        // coordination work, except polling the coordinator").
+        let teamed = creg.teamed as usize;
+        if teamed > 1 && self.topo().team_for(cid, teamed).contains(&me) {
+            backoff.wait_capped(self.shared.member_poll_sleep_cap);
+            return;
+        }
+        // 3. Is our registration still valid and needed?
+        let required = creg.required as usize;
+        let still_needed = required > 1
+            && creg.counter == self.registered_counter[cid]
+            && self.topo().team_for(cid, required).contains(&me);
+        if !still_needed {
+            self.leave_coordinator();
+            backoff.reset();
+            return;
+        }
+        // 4. Validly registered, team not yet complete: poll the partners we
+        // share with the coordinator, helping smaller tasks or switching to a
+        // winning coordinator (Algorithm 8).
+        let req_level = self.topo().level_for_requirement(cid, required);
+        match self.poll_partners(cid, required, req_level) {
+            PollOutcome::Switched | PollOutcome::Helped => backoff.reset(),
+            PollOutcome::Nothing => backoff.wait_capped(self.shared.member_poll_sleep_cap),
+        }
+    }
+
+    fn leave_coordinator(&mut self) {
+        self.me().coordinator.store(self.id, Ordering::Release);
+    }
+
+    /// Seqlock read of a coordinator's publication.  Returns a publication
+    /// newer than what this worker has already handled, if any.
+    fn read_publication(&self, cid: usize) -> Option<(*mut TaskNode, usize, usize, u64)> {
+        let c = &self.shared.workers[cid];
+        for _ in 0..8 {
+            let s1 = c.publish_seq.load(Ordering::SeqCst);
+            if s1 % 2 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            if s1 == 0 || s1 <= self.last_seen_seq[cid] {
+                return None;
+            }
+            let ptr = c.publish_task.load(Ordering::SeqCst);
+            let base = c.publish_base.load(Ordering::SeqCst);
+            let size = c.publish_size.load(Ordering::SeqCst);
+            let s2 = c.publish_seq.load(Ordering::SeqCst);
+            if s1 == s2 {
+                return Some((ptr, base, size, s1));
+            }
+        }
+        None
+    }
+
+    fn run_team_member(&mut self, ptr: *mut TaskNode, base: usize, size: usize) {
+        // SAFETY: we are a counted participant (start_countdown was
+        // decremented above), so the node cannot be freed before we finish.
+        let node = unsafe { &*ptr };
+        // SAFETY: the barrier was written before publication; the seqlock
+        // read ordered us after that write.
+        let barrier = unsafe { (*node.barrier.get()).as_ref() };
+        let ctx = TaskContext {
+            worker: &*self,
+            scope: &node.scope,
+            requested: node.requirement,
+            team_size: size,
+            team_base: base,
+            local_id: self.id - base,
+            barrier,
+        };
+        Self::run_job(node, &ctx);
+        drop(ctx);
+        self.me().counters.inc_team_tasks_executed();
+        self.finish_node(ptr);
+    }
+
+    // ------------------------------------------------------------------
+    // Partner polling, switching and helping (Algorithms 8 & 9)
+    // ------------------------------------------------------------------
+
+    /// Chooses the partner at `level` according to the configured policy.
+    fn partner_at(&mut self, level: usize) -> Option<usize> {
+        match self.shared.steal_policy {
+            StealPolicy::Deterministic => self.topo().partner(self.id, level),
+            StealPolicy::RandomizedWithinLevel => {
+                let topo = &self.shared.topology;
+                topo.partner_randomized(self.id, level, &mut self.rng)
+            }
+            StealPolicy::UniformRandom => {
+                let p = self.shared.num_threads();
+                if p <= 1 {
+                    None
+                } else {
+                    let mut v = self.rng.next_usize_below(p - 1);
+                    if v >= self.id {
+                        v += 1;
+                    }
+                    Some(v)
+                }
+            }
+        }
+    }
+
+    /// The paper's `pollPartners(c, r)` (Algorithm 8), called both by a
+    /// coordinator (`my_coord == self.id`) and by registered members.
+    fn poll_partners(&mut self, my_coord: usize, req: usize, req_level: usize) -> PollOutcome {
+        let me = self.id;
+        for level in 0..req_level {
+            let Some(x) = self.partner_at(level) else {
+                continue;
+            };
+            if x == my_coord || x == me {
+                continue;
+            }
+            let xcid = self.shared.workers[x].coordinator.load(Ordering::Acquire);
+            if xcid == my_coord || xcid == me {
+                continue;
+            }
+            let xcreg = self.shared.workers[xcid].reg.load();
+            let their_r = xcreg.required as usize;
+            if their_r <= 1 {
+                // Partner is busy with sequential work: steal smaller tasks
+                // from it so it runs dry and comes looking for work
+                // (Algorithm 8, lines 20–30).
+                if self.help_steal_from(x, req_level, level) {
+                    return PollOutcome::Helped;
+                }
+                continue;
+            }
+            // Conflict resolution (Lemma 3): the smaller requirement wins,
+            // ties are broken towards the smaller coordinator id.
+            let they_win = their_r < req || (their_r == req && xcid < my_coord);
+            if !they_win {
+                // We win; the partner's team will eventually come to us.
+                continue;
+            }
+            let needed_by_them =
+                !xcreg.is_complete() && self.topo().overlap(xcid, me, their_r);
+            if needed_by_them {
+                if self.switch_coordinator(my_coord, xcid) {
+                    return PollOutcome::Switched;
+                }
+            } else if their_r < req && self.help_steal_from(x, req_level, level) {
+                // The partner's (winning, smaller) task does not need us:
+                // help it finish faster by stealing tasks smaller than ours.
+                return PollOutcome::Helped;
+            }
+        }
+        PollOutcome::Nothing
+    }
+
+    /// Steals tasks *smaller than our current coordination requirement* from
+    /// `victim` into our own queues (Algorithm 8's helping steal).  Returns
+    /// `true` if at least one task was transferred.
+    fn help_steal_from(&mut self, victim: usize, req_level: usize, steal_level: usize) -> bool {
+        let moved = self.transfer_steal(victim, req_level.saturating_sub(1), steal_level);
+        if moved > 0 {
+            self.me().counters.inc_help_steals();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The paper's `switchToCoordinator` (Algorithm 9): deregister from the
+    /// old coordinator (if allowed) and register with the new one.  Returns
+    /// `true` if the switch happened.
+    fn switch_coordinator(&mut self, old: usize, new: usize) -> bool {
+        let me = self.id;
+        if old != me {
+            match self.shared.workers[old]
+                .reg
+                .try_release(self.registered_counter[old])
+            {
+                ReleaseOutcome::Teamed => return false, // cannot drop out of a formed team
+                ReleaseOutcome::Released | ReleaseOutcome::Revoked => {}
+            }
+            self.leave_coordinator();
+        } else {
+            // We were coordinating ourselves: revoke our registrants and stop
+            // coordinating (Algorithm 9, lines 23–31).  A coordinator of a
+            // *formed* team never abandons it (its members cannot leave
+            // either), so refuse in that case.
+            if self.me().reg.load().teamed > 1 {
+                return false;
+            }
+            self.me().reg.disband();
+        }
+        self.try_register_with(new)
+    }
+
+    /// Registers this worker at coordinator `cid` (one CAS, Algorithm 7
+    /// lines 7–14).  On success the worker's coordinator pointer is updated.
+    fn try_register_with(&mut self, cid: usize) -> bool {
+        let me = self.id;
+        debug_assert_ne!(cid, me);
+        let c = &self.shared.workers[cid];
+        // Record the publication sequence *before* registering so we never
+        // run a task published before we joined (those teams were complete
+        // without us).
+        let mut seq0 = c.publish_seq.load(Ordering::SeqCst);
+        if seq0 % 2 == 1 {
+            seq0 += 1;
+        }
+        let creg = c.reg.load();
+        let required = creg.required as usize;
+        if required <= 1 || creg.is_complete() || !self.topo().overlap(cid, me, required) {
+            return false;
+        }
+        match c.reg.try_acquire(2) {
+            AcquireOutcome::Registered(snapshot) => {
+                self.registered_counter[cid] = snapshot.counter;
+                self.last_seen_seq[cid] = self.last_seen_seq[cid].max(seq0);
+                self.me().coordinator.store(cid, Ordering::Release);
+                self.me().counters.inc_registrations();
+                true
+            }
+            AcquireOutcome::Contended => {
+                self.me().counters.inc_cas_failures();
+                false
+            }
+            AcquireOutcome::NotNeeded(_) => false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Stealing (Algorithm 7)
+    // ------------------------------------------------------------------
+
+    /// One full steal round over the `log p` partners (Algorithm 7).  Returns
+    /// `true` if the round produced something to do (a steal or a
+    /// registration).
+    fn steal_round(&mut self) -> bool {
+        let levels = self.topo().num_steal_levels();
+        if self.shared.steal_policy == StealPolicy::UniformRandom {
+            // Classic randomized work-stealing (the Randfork baseline):
+            // uniformly random victims, no team building.
+            let attempts = levels.max(1);
+            for _ in 0..attempts {
+                let Some(victim) = self.partner_at(0) else {
+                    return false;
+                };
+                let top = self.topo().num_queue_levels() - 1;
+                if self.transfer_steal(victim, top, levels.max(1) - 1) > 0 {
+                    self.me().counters.inc_steals();
+                    return true;
+                }
+            }
+            return false;
+        }
+        for level in 0..levels {
+            let Some(x) = self.partner_at(level) else {
+                continue;
+            };
+            // Team-building opportunity: does the partner's *coordinator*
+            // need us for its task (Algorithm 7, line 6)?
+            let xcid = self.shared.workers[x].coordinator.load(Ordering::Acquire);
+            if xcid != self.id {
+                let xcreg = self.shared.workers[xcid].reg.load();
+                let r = xcreg.required as usize;
+                if r > 1
+                    && !xcreg.is_complete()
+                    && self.topo().overlap(xcid, self.id, r)
+                    && self.try_register_with(xcid)
+                {
+                    return true;
+                }
+            }
+            // Otherwise steal from the partner.  Refinement 1 forbids
+            // stealing tasks for whose team both of us would be required, so
+            // only queues up to the partner's level are eligible; within
+            // those, prefer the largest tasks (Section 4).
+            if self.transfer_steal(x, level, level) > 0 {
+                self.me().counters.inc_steals();
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Transfers up to `steal_amount` tasks from `victim`'s queues (levels
+    /// `0..=max_qlevel`, largest first) into our own queues, re-levelling
+    /// each task for our own hierarchy position (Refinement 3).  Returns the
+    /// number of tasks moved.
+    fn transfer_steal(&mut self, victim: usize, max_qlevel: usize, amount_level: usize) -> usize {
+        let me = self.id;
+        if victim == me {
+            return 0;
+        }
+        let vqueues = &self.shared.workers[victim].queues;
+        let max_qlevel = max_qlevel.min(vqueues.len() - 1);
+        for qlevel in (0..=max_qlevel).rev() {
+            let vq = &vqueues[qlevel];
+            let len = vq.len();
+            if len == 0 {
+                continue;
+            }
+            let want = self.shared.steal_amount.amount(len, amount_level);
+            let mut moved = 0;
+            let mut retries = 0;
+            while moved < want {
+                match vq.steal_top() {
+                    Steal::Stolen(TaskPtr(ptr)) => {
+                        // SAFETY: the node is alive while it sits in a queue.
+                        let req = unsafe { (*ptr).requirement };
+                        let mylevel = self.topo().level_for_requirement(me, req);
+                        self.shared.workers[me].queues[mylevel].push_bottom(TaskPtr(ptr));
+                        moved += 1;
+                        retries = 0;
+                    }
+                    Steal::Empty => break,
+                    Steal::Retry => {
+                        retries += 1;
+                        if retries > 8 {
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+            if moved > 0 {
+                self.me().counters.add_tasks_stolen(moved as u64);
+                return moved;
+            }
+        }
+        0
+    }
+
+    /// Pulls one externally injected root task into the local queue.
+    fn pop_injected(&mut self) -> bool {
+        let task = self
+            .shared
+            .injector
+            .lock()
+            .expect("injector poisoned")
+            .pop_front();
+        match task {
+            Some(TaskPtr(ptr)) => {
+                // SAFETY: the node is alive while it sits in the injector.
+                let req = unsafe { (*ptr).requirement };
+                let level = self.topo().level_for_requirement(self.id, req);
+                self.me().queues[level].push_bottom(TaskPtr(ptr));
+                if req > 1 {
+                    let group = self.topo().group_size(self.id, level);
+                    self.me().reg.push_requirement(group as u16);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl SpawnTarget for Worker {
+    fn spawn_node(&self, node: *mut TaskNode, requirement: usize) {
+        let level = self.topo().level_for_requirement(self.id, requirement);
+        self.me().queues[level].push_bottom(TaskPtr(node));
+        self.me().counters.inc_tasks_spawned();
+        if requirement > 1 {
+            // paper: the registration structure's `r` is updated whenever a
+            // task is pushed to the bottom of a queue, so idle threads can
+            // already register while we are still executing.
+            assert!(
+                self.shared.steal_policy != StealPolicy::UniformRandom,
+                "team tasks (r > 1) require a hierarchical steal policy; \
+                 StealPolicy::UniformRandom supports only sequential tasks"
+            );
+            let group = self.topo().group_size(self.id, level);
+            self.me().reg.push_requirement(group as u16);
+        }
+    }
+
+    fn worker_id(&self) -> usize {
+        self.id
+    }
+
+    fn num_threads(&self) -> usize {
+        self.shared.num_threads()
+    }
+}

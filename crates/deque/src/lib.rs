@@ -1,0 +1,539 @@
+//! A lock-free Chase–Lev work-stealing deque with steal-half support.
+//!
+//! Standard work-stealing (Section 2 of the paper) keeps per-thread,
+//! double-ended queues with the operations `pushBottom`, `popBottom`,
+//! `popTop` (steal) and `isEmpty`, implemented lock-/wait-free following
+//! Arora–Blumofe–Plaxton / Chase–Lev.  The team-building scheduler reuses the
+//! same queues — one per size class (Refinement 1) — so this crate is the
+//! storage substrate for both the classic and the mixed-mode scheduler.
+//!
+//! Two layers are provided:
+//!
+//! * [`RawDeque`] — the lock-free core, storing `usize`-sized words.  Slots
+//!   are `AtomicUsize`, which makes the racy read in `steal` well defined
+//!   (no torn reads) without an `unsafe` data race.
+//! * [`Deque<T>`] — a typed wrapper that owns boxed `T` values and exposes
+//!   the paper's API, including [`Deque::steal_half_into`] (the paper's
+//!   `popappend`: transfer up to half of the victim's tasks to the thief).
+//!
+//! # Ownership protocol
+//!
+//! A deque is shared between its **owner** (the worker whose queue it is) and
+//! arbitrarily many **thieves**.  `push_bottom` and `pop_bottom` must only be
+//! called by the owner; `steal_top`, `len` and `is_empty` may be called by
+//! anyone.  The scheduler upholds this statically (each worker only pushes to
+//! and pops from its own queues); the deque checks it in debug builds via an
+//! owner-thread assertion.
+//!
+//! Memory management follows the classic "leaky buffer" variant of
+//! Chase–Lev: when the circular buffer grows, the old buffer is retired but
+//! not freed until the deque itself is dropped, so a thief holding a stale
+//! buffer pointer can always complete its read.  The retired memory is
+//! bounded by twice the high-water mark of the queue.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::sync::atomic::{AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Result of a steal attempt (`popTop`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// A value was stolen.
+    Stolen(T),
+    /// The deque was observed empty.
+    Empty,
+    /// The steal lost a race (with the owner or another thief); retrying may
+    /// succeed.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// Returns the stolen value, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Stolen(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// `true` if the deque was observed empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+}
+
+const MIN_CAPACITY: usize = 32;
+
+struct Buffer {
+    slots: Box<[AtomicUsize]>,
+    capacity: usize,
+}
+
+impl Buffer {
+    fn new(capacity: usize) -> Box<Buffer> {
+        let slots = (0..capacity).map(|_| AtomicUsize::new(0)).collect();
+        Box::new(Buffer { slots, capacity })
+    }
+
+    #[inline]
+    fn read(&self, index: isize) -> usize {
+        self.slots[index as usize & (self.capacity - 1)].load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn write(&self, index: isize, value: usize) {
+        self.slots[index as usize & (self.capacity - 1)].store(value, Ordering::Relaxed);
+    }
+}
+
+/// The lock-free Chase–Lev deque over word-sized values.
+pub struct RawDeque {
+    top: AtomicIsize,
+    bottom: AtomicIsize,
+    buffer: AtomicPtr<Buffer>,
+    /// Retired buffers (kept until drop so stale readers stay valid) plus the
+    /// current buffer for ownership purposes.
+    retired: Mutex<Vec<*mut Buffer>>,
+}
+
+// SAFETY: all shared mutable state is accessed through atomics; buffer
+// contents are plain words whose ownership semantics are imposed by the typed
+// wrapper.
+unsafe impl Send for RawDeque {}
+unsafe impl Sync for RawDeque {}
+
+impl Default for RawDeque {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RawDeque {
+    /// Creates an empty deque.
+    pub fn new() -> Self {
+        Self::with_capacity(MIN_CAPACITY)
+    }
+
+    /// Creates an empty deque with at least the given initial capacity
+    /// (rounded up to a power of two).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(MIN_CAPACITY).next_power_of_two();
+        let buffer = Box::into_raw(Buffer::new(capacity));
+        RawDeque {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            buffer: AtomicPtr::new(buffer),
+            retired: Mutex::new(vec![buffer]),
+        }
+    }
+
+    /// Number of elements currently in the deque.  Like the paper's
+    /// `Q.size()`, the value is a snapshot and may be stale by the time the
+    /// caller acts on it.
+    pub fn len(&self) -> usize {
+        let b = self.bottom.load(Ordering::Acquire);
+        let t = self.top.load(Ordering::Acquire);
+        (b - t).max(0) as usize
+    }
+
+    /// `true` if the deque was observed empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pushes a value at the bottom.  **Owner only.**
+    pub fn push_bottom(&self, value: usize) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        // SAFETY: only the owner mutates the buffer pointer; loading it on the
+        // owner thread is always current.
+        let mut buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
+        if b - t >= buf.capacity as isize {
+            buf = self.grow(buf, t, b);
+        }
+        buf.write(b, value);
+        self.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Pops a value from the bottom.  **Owner only.**
+    pub fn pop_bottom(&self) -> Option<usize> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        // SAFETY: owner thread; see push_bottom.
+        let buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
+        self.bottom.store(b, Ordering::Relaxed);
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            let value = buf.read(b);
+            if t == b {
+                // Last element: race against thieves for it.
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                if won {
+                    Some(value)
+                } else {
+                    None
+                }
+            } else {
+                Some(value)
+            }
+        } else {
+            // Deque was empty.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Attempts to steal a value from the top (the paper's `popTop`).  Safe to
+    /// call from any thread.
+    pub fn steal_top(&self) -> Steal<usize> {
+        let t = self.top.load(Ordering::Acquire);
+        std::sync::atomic::fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        // SAFETY: buffers are never freed while the deque is alive, so even a
+        // stale pointer remains readable; the value is only trusted if the CAS
+        // on `top` succeeds, and the owner never overwrites live slots in a
+        // retired buffer (growth copies them to the new buffer first).
+        let buf = unsafe { &*self.buffer.load(Ordering::Acquire) };
+        let value = buf.read(t);
+        if self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+        {
+            Steal::Stolen(value)
+        } else {
+            Steal::Retry
+        }
+    }
+
+    fn grow(&self, old: &Buffer, top: isize, bottom: isize) -> &Buffer {
+        let new = Buffer::new(old.capacity * 2);
+        for i in top..bottom {
+            new.write(i, old.read(i));
+        }
+        let new_ptr = Box::into_raw(new);
+        self.buffer.store(new_ptr, Ordering::Release);
+        self.retired
+            .lock()
+            .expect("deque retire list poisoned")
+            .push(new_ptr);
+        // SAFETY: the pointer was just created and registered for cleanup.
+        unsafe { &*new_ptr }
+    }
+}
+
+impl Drop for RawDeque {
+    fn drop(&mut self) {
+        let retired = std::mem::take(
+            &mut *self.retired.lock().expect("deque retire list poisoned"),
+        );
+        for ptr in retired {
+            // SAFETY: each pointer was created by Box::into_raw and is freed
+            // exactly once here.
+            drop(unsafe { Box::from_raw(ptr) });
+        }
+    }
+}
+
+/// A typed work-stealing deque that owns its elements (boxed internally).
+///
+/// Dropping a non-empty `Deque<T>` drops the remaining elements.
+pub struct Deque<T> {
+    raw: RawDeque,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Send> Default for Deque<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Send> Deque<T> {
+    /// Creates an empty deque.
+    pub fn new() -> Self {
+        Deque {
+            raw: RawDeque::new(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Creates an empty deque with at least the given initial capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Deque {
+            raw: RawDeque::with_capacity(capacity),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Snapshot of the number of elements.
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// `true` if the deque was observed empty.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// Pushes a value at the bottom (owner only) — the paper's `pushBottom`.
+    pub fn push_bottom(&self, value: T) {
+        let ptr = Box::into_raw(Box::new(value)) as usize;
+        self.raw.push_bottom(ptr);
+    }
+
+    /// Pops a value from the bottom (owner only) — the paper's `popBottom`.
+    pub fn pop_bottom(&self) -> Option<T> {
+        self.raw.pop_bottom().map(|ptr| {
+            // SAFETY: every word in the deque was produced by Box::into_raw in
+            // push_bottom, and ownership is transferred exactly once (either
+            // to pop_bottom or to a successful steal).
+            *unsafe { Box::from_raw(ptr as *mut T) }
+        })
+    }
+
+    /// Attempts to steal a value from the top — the paper's `popTop`.
+    pub fn steal_top(&self) -> Steal<T> {
+        match self.raw.steal_top() {
+            // SAFETY: see pop_bottom.
+            Steal::Stolen(ptr) => Steal::Stolen(*unsafe { Box::from_raw(ptr as *mut T) }),
+            Steal::Empty => Steal::Empty,
+            Steal::Retry => Steal::Retry,
+        }
+    }
+
+    /// The paper's `popappend(v, T)` (Algorithm 4): repeatedly steal from
+    /// `self` (the victim) and append to `dest` (the thief's own deque), up
+    /// to `max` elements, returning how many were transferred.  The caller
+    /// must be the owner of `dest`.
+    ///
+    /// Transient `Retry` results are retried a bounded number of times so a
+    /// single contended CAS does not abort the whole bulk transfer.
+    pub fn steal_half_into(&self, dest: &Deque<T>, max: usize) -> usize {
+        let mut moved = 0;
+        let mut retries = 0;
+        while moved < max {
+            match self.steal_top() {
+                Steal::Stolen(v) => {
+                    dest.push_bottom(v);
+                    moved += 1;
+                    retries = 0;
+                }
+                Steal::Empty => break,
+                Steal::Retry => {
+                    retries += 1;
+                    if retries > 8 {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        moved
+    }
+
+    /// Steals one element, retrying through transient contention, and returns
+    /// it directly to the caller instead of appending it to a queue.  This is
+    /// the "last stolen task is returned immediately" rule from Section 4 of
+    /// the paper.
+    pub fn steal_one(&self) -> Option<T> {
+        let mut retries = 0;
+        loop {
+            match self.steal_top() {
+                Steal::Stolen(v) => return Some(v),
+                Steal::Empty => return None,
+                Steal::Retry => {
+                    retries += 1;
+                    if retries > 16 {
+                        return None;
+                    }
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+}
+
+impl<T> Drop for Deque<T> {
+    fn drop(&mut self) {
+        // Drain and drop any remaining owned elements.
+        while let Some(ptr) = self.raw.pop_bottom() {
+            // SAFETY: same ownership argument as pop_bottom.
+            drop(unsafe { Box::from_raw(ptr as *mut T) });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize as StdAtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn lifo_for_owner() {
+        let q: Deque<u32> = Deque::new();
+        assert!(q.is_empty());
+        for i in 0..10 {
+            q.push_bottom(i);
+        }
+        assert_eq!(q.len(), 10);
+        for i in (0..10).rev() {
+            assert_eq!(q.pop_bottom(), Some(i));
+        }
+        assert_eq!(q.pop_bottom(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fifo_for_thieves() {
+        let q: Deque<u32> = Deque::new();
+        for i in 0..10 {
+            q.push_bottom(i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.steal_top().success(), Some(i));
+        }
+        assert!(q.steal_top().is_empty());
+    }
+
+    #[test]
+    fn growth_preserves_contents() {
+        let q: Deque<usize> = Deque::with_capacity(4);
+        let n = 10_000;
+        for i in 0..n {
+            q.push_bottom(i);
+        }
+        assert_eq!(q.len(), n);
+        let mut out = Vec::new();
+        while let Some(v) = q.pop_bottom() {
+            out.push(v);
+        }
+        out.reverse();
+        assert_eq!(out, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drop_releases_remaining_elements() {
+        static DROPS: StdAtomicUsize = StdAtomicUsize::new(0);
+        struct Token;
+        impl Drop for Token {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let q: Deque<Token> = Deque::new();
+            for _ in 0..8 {
+                q.push_bottom(Token);
+            }
+            let _ = q.pop_bottom();
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn steal_half_balances_queues() {
+        let victim: Deque<u32> = Deque::new();
+        let thief: Deque<u32> = Deque::new();
+        for i in 0..100 {
+            victim.push_bottom(i);
+        }
+        let moved = victim.steal_half_into(&thief, 50);
+        assert_eq!(moved, 50);
+        assert_eq!(victim.len(), 50);
+        assert_eq!(thief.len(), 50);
+        // The thief received the oldest tasks, in order.
+        for i in (0..50).rev() {
+            assert_eq!(thief.pop_bottom(), Some(i));
+        }
+    }
+
+    #[test]
+    fn concurrent_steals_deliver_every_element_once() {
+        const N: usize = 20_000;
+        const THIEVES: usize = 4;
+        let q: Arc<Deque<usize>> = Arc::new(Deque::new());
+        let seen = Arc::new((0..N).map(|_| StdAtomicUsize::new(0)).collect::<Vec<_>>());
+
+        // Owner pushes and occasionally pops; thieves steal concurrently.
+        let handles: Vec<_> = (0..THIEVES)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let seen = Arc::clone(&seen);
+                std::thread::spawn(move || {
+                    let mut count = 0usize;
+                    let mut idle = 0;
+                    loop {
+                        match q.steal_top() {
+                            Steal::Stolen(v) => {
+                                seen[v].fetch_add(1, Ordering::SeqCst);
+                                count += 1;
+                                idle = 0;
+                            }
+                            Steal::Empty => {
+                                idle += 1;
+                                if idle > 10_000 {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                            Steal::Retry => {}
+                        }
+                    }
+                    count
+                })
+            })
+            .collect();
+
+        let mut owner_popped = 0usize;
+        for i in 0..N {
+            q.push_bottom(i);
+            if i % 7 == 0 {
+                if let Some(v) = q.pop_bottom() {
+                    seen[v].fetch_add(1, Ordering::SeqCst);
+                    owner_popped += 1;
+                }
+            }
+        }
+        // Drain the rest as the owner.
+        while let Some(v) = q.pop_bottom() {
+            seen[v].fetch_add(1, Ordering::SeqCst);
+            owner_popped += 1;
+        }
+        let stolen: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(owner_popped + stolen, N, "every element delivered");
+        for (i, s) in seen.iter().enumerate() {
+            assert_eq!(s.load(Ordering::SeqCst), 1, "element {i} delivered exactly once");
+        }
+    }
+
+    #[test]
+    fn owner_and_single_thief_race_on_last_element() {
+        // Repeatedly race pop_bottom and steal_top over a single element; the
+        // element must go to exactly one side.
+        for _ in 0..2_000 {
+            let q: Arc<Deque<u64>> = Arc::new(Deque::new());
+            q.push_bottom(7);
+            let thief = {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.steal_one())
+            };
+            let owner = q.pop_bottom();
+            let stolen = thief.join().unwrap();
+            match (owner, stolen) {
+                (Some(7), None) | (None, Some(7)) => {}
+                other => panic!("element duplicated or lost: {other:?}"),
+            }
+        }
+    }
+}

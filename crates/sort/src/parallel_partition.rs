@@ -1,0 +1,419 @@
+//! The Tsigas–Zhang blocked, data-parallel partitioning step.
+//!
+//! The array is split into cache-aligned blocks.  During **phase 1** every
+//! team member repeatedly takes one block from the left end and one from the
+//! right end of the not-yet-claimed range and *neutralizes* them: elements
+//! greater than the pivot in the left block are swapped with elements less
+//! than or equal to the pivot in the right block until one of the blocks is
+//! fully scanned, at which point a fresh block is claimed from that side.
+//! When no blocks remain, each member parks its at most one unfinished block
+//! per side.
+//!
+//! **Phase 2/3** (performed by the member with local id 0 after a team
+//! barrier) moves the unfinished blocks to the inner boundary of their
+//! region, so everything that is not yet classified forms one contiguous
+//! range (unfinished blocks + never-claimed middle + the sub-block tail), and
+//! finishes it with a sequential two-pointer pass.  The paper replaces the
+//! original "thread 0 collects everything" second phase with a
+//! producer/consumer exchanger; we keep the sequential cleanup (its work is
+//! bounded by `O(team_size · block_size + block_size)` elements) and note the
+//! substitution in DESIGN.md.
+//!
+//! The result is the usual partition contract: a split point `s` such that
+//! `data[..s] <= pivot < data[s..]` (with the all-`<= pivot` corner case
+//! reported as `s == n` and resolved by the caller).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use teamsteal_core::TaskContext;
+use teamsteal_util::SendMutPtr;
+
+use crate::seq::partition_by;
+
+/// Which side of the array a block is claimed from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Side {
+    Left,
+    Right,
+}
+
+/// Shared state of one data-parallel partitioning step, used by every member
+/// of the team executing it.  A `ParallelPartitioner` is **single use**: it
+/// partitions exactly one array once.
+pub struct ParallelPartitioner {
+    n: usize,
+    block_size: usize,
+    nblocks: usize,
+    /// Packed claim counters: upper 32 bits = blocks taken from the left,
+    /// lower 32 bits = blocks taken from the right.
+    taken: AtomicU64,
+    /// Per-member unfinished left block (index + 1; 0 = none).
+    leftover_left: Vec<AtomicUsize>,
+    /// Per-member unfinished right block (index + 1; 0 = none).
+    leftover_right: Vec<AtomicUsize>,
+    /// The final split point, published by local id 0.
+    split: AtomicUsize,
+}
+
+impl ParallelPartitioner {
+    /// Creates the shared state for partitioning an array of `n` elements
+    /// with blocks of `block_size` elements and at most `max_team` members.
+    pub fn new(n: usize, block_size: usize, max_team: usize) -> Self {
+        let block_size = block_size.max(1);
+        let nblocks = n / block_size;
+        ParallelPartitioner {
+            n,
+            block_size,
+            nblocks,
+            taken: AtomicU64::new(0),
+            leftover_left: (0..max_team.max(1)).map(|_| AtomicUsize::new(0)).collect(),
+            leftover_right: (0..max_team.max(1)).map(|_| AtomicUsize::new(0)).collect(),
+            split: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of full blocks phase 1 operates on.
+    pub fn num_blocks(&self) -> usize {
+        self.nblocks
+    }
+
+    /// Claims the next block from `side`, if any block is still unclaimed.
+    fn acquire_block(&self, side: Side) -> Option<usize> {
+        loop {
+            let cur = self.taken.load(Ordering::Acquire);
+            let left = (cur >> 32) as usize;
+            let right = (cur & 0xFFFF_FFFF) as usize;
+            if left + right >= self.nblocks {
+                return None;
+            }
+            let (new, index) = match side {
+                Side::Left => (((left as u64 + 1) << 32) | right as u64, left),
+                Side::Right => (
+                    ((left as u64) << 32) | (right as u64 + 1),
+                    self.nblocks - 1 - right,
+                ),
+            };
+            if self
+                .taken
+                .compare_exchange(cur, new, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Some(index);
+            }
+        }
+    }
+
+    /// Runs the partitioning step as part of a team task.  Every member of
+    /// the team executing the task must call this exactly once with its own
+    /// `ctx`; the call returns the split point `s` (`data[..s] <= pivot`,
+    /// `data[s..] > pivot`).
+    ///
+    /// # Safety contract
+    ///
+    /// `ptr[0 .. n]` (with `n` as passed to [`ParallelPartitioner::new`])
+    /// must be valid and owned exclusively by this team task for the duration
+    /// of the call.
+    pub fn run(&self, ctx: &TaskContext<'_>, ptr: SendMutPtr<u32>, pivot: u32) -> usize {
+        let me = ctx.local_id();
+        debug_assert!(me < self.leftover_left.len());
+
+        // ---- Phase 1: parallel block neutralization -------------------
+        self.neutralize_blocks(me, ptr, pivot);
+        ctx.barrier();
+
+        // ---- Phase 2 + 3: sequential cleanup by local id 0 -------------
+        if me == 0 {
+            let split = self.cleanup(ptr, pivot);
+            self.split.store(split, Ordering::Release);
+        }
+        ctx.barrier();
+        self.split.load(Ordering::Acquire)
+    }
+
+    fn block_slice<'a>(&self, ptr: SendMutPtr<u32>, block: usize) -> &'a mut [u32] {
+        // SAFETY: blocks are disjoint (acquire_block never hands the same
+        // index to two claims) and inside ptr[0..n].
+        unsafe { ptr.add(block * self.block_size).slice_mut(self.block_size) }
+    }
+
+    fn neutralize_blocks(&self, me: usize, ptr: SendMutPtr<u32>, pivot: u32) {
+        let bs = self.block_size;
+        let mut left: Option<(usize, usize)> = None; // (block, scan position)
+        let mut right: Option<(usize, usize)> = None;
+        loop {
+            if left.is_none() {
+                match self.acquire_block(Side::Left) {
+                    Some(b) => left = Some((b, 0)),
+                    None => break,
+                }
+            }
+            if right.is_none() {
+                match self.acquire_block(Side::Right) {
+                    Some(b) => right = Some((b, 0)),
+                    None => break,
+                }
+            }
+            let (lb, mut i) = left.take().expect("left block present");
+            let (rb, mut j) = right.take().expect("right block present");
+            let lslice = self.block_slice(ptr, lb);
+            let rslice = self.block_slice(ptr, rb);
+            loop {
+                while i < bs && lslice[i] <= pivot {
+                    i += 1;
+                }
+                while j < bs && rslice[j] > pivot {
+                    j += 1;
+                }
+                if i == bs || j == bs {
+                    break;
+                }
+                std::mem::swap(&mut lslice[i], &mut rslice[j]);
+                i += 1;
+                j += 1;
+            }
+            if i < bs {
+                left = Some((lb, i));
+            }
+            if j < bs {
+                right = Some((rb, j));
+            }
+        }
+        if let Some((lb, _)) = left {
+            self.leftover_left[me].store(lb + 1, Ordering::Release);
+        }
+        if let Some((rb, _)) = right {
+            self.leftover_right[me].store(rb + 1, Ordering::Release);
+        }
+    }
+
+    /// Swaps the contents of two (disjoint) blocks.
+    fn swap_blocks(&self, ptr: SendMutPtr<u32>, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let sa = self.block_slice(ptr, a);
+        let sb = self.block_slice(ptr, b);
+        sa.swap_with_slice(sb);
+    }
+
+    /// Moves the unfinished blocks of one side into that side's innermost
+    /// block slots so the unclassified data becomes contiguous.  Returns the
+    /// number of unfinished blocks on that side.
+    fn compact_leftovers(
+        &self,
+        ptr: SendMutPtr<u32>,
+        leftovers: &mut Vec<usize>,
+        region_start: usize,
+        region_len: usize,
+        innermost_last: bool,
+    ) -> usize {
+        let count = leftovers.len();
+        if count == 0 {
+            return 0;
+        }
+        debug_assert!(count <= region_len);
+        // Target slots: the `count` innermost block indices of the region.
+        let targets: Vec<usize> = if innermost_last {
+            // Left region: innermost = highest indices.
+            (region_start + region_len - count..region_start + region_len).collect()
+        } else {
+            // Right region: innermost = lowest indices.
+            (region_start..region_start + count).collect()
+        };
+        let in_target = |b: usize| targets.contains(&b);
+        // Leftover blocks already inside the target zone stay; the others are
+        // swapped with target slots currently holding finished blocks.
+        let mut free_targets: Vec<usize> = targets
+            .iter()
+            .copied()
+            .filter(|t| !leftovers.contains(t))
+            .collect();
+        for &block in leftovers.iter() {
+            if in_target(block) {
+                continue;
+            }
+            let target = free_targets.pop().expect("enough free target slots");
+            self.swap_blocks(ptr, block, target);
+        }
+        count
+    }
+
+    /// Phase 2 + 3: make the unclassified range contiguous and finish it with
+    /// a sequential pass.  Returns the global split point.
+    fn cleanup(&self, ptr: SendMutPtr<u32>, pivot: u32) -> usize {
+        let bs = self.block_size;
+        let cur = self.taken.load(Ordering::Acquire);
+        let taken_left = (cur >> 32) as usize;
+        let taken_right = (cur & 0xFFFF_FFFF) as usize;
+        debug_assert!(taken_left + taken_right <= self.nblocks);
+
+        let mut lo_left: Vec<usize> = self
+            .leftover_left
+            .iter()
+            .filter_map(|a| {
+                let v = a.load(Ordering::Acquire);
+                (v > 0).then(|| v - 1)
+            })
+            .collect();
+        let mut lo_right: Vec<usize> = self
+            .leftover_right
+            .iter()
+            .filter_map(|a| {
+                let v = a.load(Ordering::Acquire);
+                (v > 0).then(|| v - 1)
+            })
+            .collect();
+
+        let ll = self.compact_leftovers(ptr, &mut lo_left, 0, taken_left, true);
+        let rl = self.compact_leftovers(
+            ptr,
+            &mut lo_right,
+            self.nblocks - taken_right,
+            taken_right,
+            false,
+        );
+
+        // The contiguous unclassified range: unfinished left blocks, the
+        // never-claimed middle, and the unfinished right blocks.
+        let unknown_start = (taken_left - ll) * bs;
+        let unknown_end = (self.nblocks - taken_right + rl) * bs;
+        debug_assert!(unknown_start <= unknown_end);
+        // SAFETY: exclusive access (phase 1 is over; only local id 0 runs this).
+        let unknown =
+            unsafe { ptr.add(unknown_start).slice_mut(unknown_end - unknown_start) };
+        let mut split = unknown_start + partition_by(unknown, |x| x <= pivot);
+
+        // Finally fold in the sub-block tail that phase 1 never touched.
+        // Invariant: data[split .. nblocks*bs] > pivot.
+        // SAFETY: exclusive access, whole array.
+        let data = unsafe { ptr.slice_mut(self.n) };
+        for k in self.nblocks * bs..self.n {
+            if data[k] <= pivot {
+                data.swap(k, split);
+                split += 1;
+            }
+        }
+        split
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use teamsteal_core::Scheduler;
+    use teamsteal_data::{is_permutation_of, Distribution};
+
+    /// Runs the partitioner inside a real team task and checks the partition
+    /// contract.
+    fn check_partition(scheduler: &Scheduler, team: usize, n: usize, block_size: usize, seed: u64) {
+        for d in Distribution::ALL {
+            let original = d.generate(n, 8, seed);
+            let mut data = original.clone();
+            if data.is_empty() {
+                continue;
+            }
+            let pivot = crate::seq::median_of_three(&data);
+            let ptr = SendMutPtr::from_slice(&mut data);
+            let partitioner = Arc::new(ParallelPartitioner::new(
+                n,
+                block_size,
+                scheduler.num_threads(),
+            ));
+            let split_seen = Arc::new(AtomicUsize::new(usize::MAX));
+            {
+                let partitioner = Arc::clone(&partitioner);
+                let split_seen = Arc::clone(&split_seen);
+                scheduler.run_team(team, move |ctx| {
+                    let s = partitioner.run(ctx, ptr, pivot);
+                    split_seen.store(s, Ordering::Release);
+                });
+            }
+            let split = split_seen.load(Ordering::Acquire);
+            assert!(split <= n);
+            assert!(
+                data[..split].iter().all(|&x| x <= pivot),
+                "{d:?}: left side contains an element above the pivot (n={n}, team={team})"
+            );
+            assert!(
+                data[split..].iter().all(|&x| x > pivot),
+                "{d:?}: right side contains an element at or below the pivot (n={n}, team={team})"
+            );
+            assert!(
+                is_permutation_of(&original, &data),
+                "{d:?}: partition changed the multiset of elements"
+            );
+            assert!(split >= 1, "the pivot element itself must land on the left");
+        }
+    }
+
+    #[test]
+    fn partitions_with_a_singleton_team() {
+        let s = Scheduler::with_threads(1);
+        check_partition(&s, 1, 10_000, 256, 1);
+    }
+
+    #[test]
+    fn partitions_with_a_team_of_two() {
+        let s = Scheduler::with_threads(2);
+        check_partition(&s, 2, 50_000, 512, 2);
+    }
+
+    #[test]
+    fn partitions_with_a_team_of_four() {
+        let s = Scheduler::with_threads(4);
+        check_partition(&s, 4, 120_000, 1024, 3);
+    }
+
+    #[test]
+    fn handles_sizes_not_multiple_of_block_size() {
+        let s = Scheduler::with_threads(4);
+        check_partition(&s, 4, 100_003, 1024, 4);
+        check_partition(&s, 2, 1_023, 1024, 5); // fewer elements than one block
+        check_partition(&s, 4, 4_097, 4_096, 6);
+    }
+
+    #[test]
+    fn handles_tiny_blocks_and_many_claims() {
+        let s = Scheduler::with_threads(4);
+        check_partition(&s, 4, 30_000, 64, 7);
+    }
+
+    #[test]
+    fn all_elements_below_pivot_reports_full_split() {
+        let s = Scheduler::with_threads(2);
+        let n = 8_192;
+        let mut data = vec![3u32; n];
+        let ptr = SendMutPtr::from_slice(&mut data);
+        let partitioner = Arc::new(ParallelPartitioner::new(n, 512, 2));
+        let split_seen = Arc::new(AtomicUsize::new(0));
+        {
+            let partitioner = Arc::clone(&partitioner);
+            let split_seen = Arc::clone(&split_seen);
+            s.run_team(2, move |ctx| {
+                let split = partitioner.run(ctx, ptr, 3);
+                split_seen.store(split, Ordering::Release);
+            });
+        }
+        assert_eq!(split_seen.load(Ordering::Acquire), n);
+    }
+
+    #[test]
+    fn acquire_block_never_hands_out_duplicates() {
+        let p = ParallelPartitioner::new(64 * 128, 128, 4);
+        let mut seen = vec![false; p.num_blocks()];
+        let mut toggle = true;
+        loop {
+            let side = if toggle { Side::Left } else { Side::Right };
+            toggle = !toggle;
+            match p.acquire_block(side) {
+                Some(b) => {
+                    assert!(!seen[b], "block {b} handed out twice");
+                    seen[b] = true;
+                }
+                None => break,
+            }
+        }
+        assert!(seen.into_iter().all(|s| s), "every block must be claimed");
+    }
+}

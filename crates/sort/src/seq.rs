@@ -1,0 +1,215 @@
+//! Sequential baselines: the standard-library reference sort and the
+//! handwritten sequential Quicksort ("SeqQS").
+
+use crate::SortConfig;
+
+/// The "best available sequential sort" the paper normalizes all speedups to
+/// (its tables call it *Seq/STL*; `std::sort` there, `slice::sort_unstable`
+/// — pattern-defeating quicksort — here).
+pub fn std_sort(data: &mut [u32]) {
+    data.sort_unstable();
+}
+
+/// Handwritten sequential Quicksort with the same cutoff as the parallel
+/// variants (the paper's *SeqQS* column): median-of-three pivot selection,
+/// two-pointer partitioning, recursion into the smaller side first and a
+/// switch to [`std_sort`] below the cutoff.
+pub fn sequential_quicksort(data: &mut [u32], config: &SortConfig) {
+    quicksort_recursive(data, config.cutoff.max(1));
+}
+
+fn quicksort_recursive(mut data: &mut [u32], cutoff: usize) {
+    loop {
+        let n = data.len();
+        if n <= cutoff {
+            std_sort(data);
+            return;
+        }
+        let pivot = median_of_three(data);
+        let (left_len, right_start) = split_around(data, pivot);
+        // Recurse into the smaller part, loop on the larger one so the stack
+        // depth stays O(log n) even for adversarial inputs.
+        let whole = std::mem::take(&mut data);
+        let (left, rest) = whole.split_at_mut(left_len);
+        let right = &mut rest[right_start - left_len..];
+        if left.len() < right.len() {
+            quicksort_recursive(left, cutoff);
+            data = right;
+        } else {
+            quicksort_recursive(right, cutoff);
+            data = left;
+        }
+    }
+}
+
+/// Median of the first, middle and last element — the pivot selection used by
+/// every Quicksort variant in this crate.
+pub fn median_of_three(data: &[u32]) -> u32 {
+    let n = data.len();
+    debug_assert!(n >= 1);
+    let a = data[0];
+    let b = data[n / 2];
+    let c = data[n - 1];
+    a.max(b).min(a.min(b).max(c))
+}
+
+/// Partitions `data` around the pivot *value* and returns
+/// `(left_len, right_start)` such that sorting `[0, left_len)` and
+/// `[right_start, n)` independently sorts the whole slice; the (possibly
+/// empty) gap `[left_len, right_start)` consists of elements equal to the
+/// pivot that are already in their final position.
+///
+/// In the common case this is a single two-pointer pass splitting into
+/// `≤ pivot | > pivot`.  Only when every element is `≤ pivot` (e.g. the pivot
+/// is the maximum, or the slice is constant) a second pass separates the
+/// elements equal to the pivot so both recursion ranges are strictly smaller
+/// than the input — this is what keeps duplicate-heavy inputs from
+/// degenerating into infinite recursion.
+pub fn split_around(data: &mut [u32], pivot: u32) -> (usize, usize) {
+    let le = partition_by(data, |x| x <= pivot);
+    if le < data.len() {
+        (le, le)
+    } else {
+        // Everything is <= pivot (e.g. pivot is the maximum): split off the
+        // equals so the recursion strictly shrinks.
+        let lt = partition_by(data, |x| x < pivot);
+        (lt, data.len())
+    }
+}
+
+/// In-place two-pointer partition by a predicate: afterwards every element
+/// satisfying `pred` precedes every element that does not; returns the number
+/// of elements satisfying `pred`.
+pub fn partition_by(data: &mut [u32], pred: impl Fn(u32) -> bool) -> usize {
+    let mut i = 0usize;
+    let mut j = data.len();
+    loop {
+        while i < j && pred(data[i]) {
+            i += 1;
+        }
+        while i < j && !pred(data[j - 1]) {
+            j -= 1;
+        }
+        if i >= j {
+            return i;
+        }
+        data.swap(i, j - 1);
+        i += 1;
+        j -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use teamsteal_data::{is_permutation_of, is_sorted, Distribution};
+
+    #[test]
+    fn std_sort_sorts() {
+        let mut v = vec![5u32, 3, 9, 1, 1, 0];
+        std_sort(&mut v);
+        assert_eq!(v, vec![0, 1, 1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn median_of_three_examples() {
+        assert_eq!(median_of_three(&[1, 2, 3]), 2);
+        assert_eq!(median_of_three(&[3, 2, 1]), 2);
+        assert_eq!(median_of_three(&[2, 9, 2]), 2);
+        assert_eq!(median_of_three(&[7]), 7);
+        assert_eq!(median_of_three(&[7, 7]), 7);
+    }
+
+    #[test]
+    fn partition_by_basic() {
+        let mut v = vec![4u32, 1, 7, 2, 9, 3];
+        let k = partition_by(&mut v, |x| x <= 3);
+        assert_eq!(k, 3);
+        assert!(v[..k].iter().all(|&x| x <= 3));
+        assert!(v[k..].iter().all(|&x| x > 3));
+    }
+
+    #[test]
+    fn partition_by_all_or_nothing() {
+        let mut v = vec![1u32, 2, 3];
+        assert_eq!(partition_by(&mut v, |_| true), 3);
+        assert_eq!(partition_by(&mut v, |_| false), 0);
+        let mut empty: Vec<u32> = vec![];
+        assert_eq!(partition_by(&mut empty, |_| true), 0);
+    }
+
+    #[test]
+    fn split_around_handles_all_equal_input() {
+        let mut v = vec![5u32; 100];
+        let (lt, ge) = split_around(&mut v, 5);
+        assert_eq!(lt, 0);
+        assert_eq!(ge, 100);
+    }
+
+    #[test]
+    fn split_around_ranges_sort_independently() {
+        let mut v: Vec<u32> = (0..1000).map(|i| (i * 7919) % 50).collect();
+        let original = v.clone();
+        let pivot = 25;
+        let (left_len, right_start) = split_around(&mut v, pivot);
+        assert!(left_len <= right_start && right_start <= v.len());
+        assert!(v[..left_len].iter().all(|&x| x <= pivot));
+        assert!(v[left_len..right_start].iter().all(|&x| x == pivot));
+        assert!(v[right_start..].iter().all(|&x| x > pivot || x == pivot));
+        // Sorting the two recursion ranges independently sorts the slice.
+        v[..left_len].sort_unstable();
+        v[right_start..].sort_unstable();
+        assert!(is_sorted(&v));
+        assert!(is_permutation_of(&original, &v));
+    }
+
+    #[test]
+    fn sequential_quicksort_sorts_every_distribution() {
+        let cfg = SortConfig::default();
+        for d in Distribution::ALL {
+            let original = d.generate(50_000, 8, 11);
+            let mut v = original.clone();
+            sequential_quicksort(&mut v, &cfg);
+            assert!(is_sorted(&v), "{d:?} not sorted");
+            assert!(is_permutation_of(&original, &v), "{d:?} lost elements");
+        }
+    }
+
+    #[test]
+    fn sequential_quicksort_edge_cases() {
+        let cfg = SortConfig { cutoff: 4, ..SortConfig::default() };
+        for v in [vec![], vec![1u32], vec![2, 1], vec![3, 3, 3, 3, 3, 3, 3, 3, 3]] {
+            let mut s = v.clone();
+            sequential_quicksort(&mut s, &cfg);
+            assert!(is_sorted(&s));
+            assert!(is_permutation_of(&v, &s));
+        }
+        // Already sorted and reverse sorted, larger than the cutoff.
+        let mut asc: Vec<u32> = (0..10_000).collect();
+        sequential_quicksort(&mut asc, &cfg);
+        assert!(is_sorted(&asc));
+        let mut desc: Vec<u32> = (0..10_000).rev().collect();
+        sequential_quicksort(&mut desc, &cfg);
+        assert!(is_sorted(&desc));
+    }
+
+    proptest! {
+        #[test]
+        fn quicksort_matches_std_sort(mut v in proptest::collection::vec(any::<u32>(), 0..2000)) {
+            let mut reference = v.clone();
+            reference.sort_unstable();
+            sequential_quicksort(&mut v, &SortConfig { cutoff: 8, ..SortConfig::default() });
+            prop_assert_eq!(v, reference);
+        }
+
+        #[test]
+        fn partition_by_is_a_partition(mut v in proptest::collection::vec(any::<u32>(), 0..500), pivot in any::<u32>()) {
+            let original = v.clone();
+            let k = partition_by(&mut v, |x| x <= pivot);
+            prop_assert!(v[..k].iter().all(|&x| x <= pivot));
+            prop_assert!(v[k..].iter().all(|&x| x > pivot));
+            prop_assert!(is_permutation_of(&original, &v));
+        }
+    }
+}

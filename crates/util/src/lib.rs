@@ -1,0 +1,31 @@
+//! Low-level utilities shared by all `teamsteal` crates.
+//!
+//! This crate contains the small, dependency-free building blocks the
+//! scheduler is made of:
+//!
+//! * [`CachePadded`] — re-exported cache-line padding wrapper used to keep
+//!   per-worker hot words on separate cache lines,
+//! * [`Backoff`] — the exponential backoff used everywhere the paper calls
+//!   `backoff()` (Section 4: "exponential backoff, starting at 1 microsecond,
+//!   and going up to 10 milliseconds"),
+//! * [`rng`] — small, fast, deterministic PRNGs (SplitMix64 / Xoshiro256++)
+//!   used for randomized victim selection (the paper's *Randfork* baseline and
+//!   Refinement 4) and for the benchmark input generators,
+//! * [`bits`] — the bit manipulation helpers the paper relies on
+//!   (most-significant-bit / `bsrl`, power-of-two rounding, partner id
+//!   bit-flipping),
+//! * [`timing`] — monotonic timers and simple statistics used by the
+//!   benchmark harness.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod backoff;
+pub mod bits;
+pub mod rng;
+pub mod sendptr;
+pub mod timing;
+
+pub use backoff::Backoff;
+pub use crossbeam_utils::CachePadded;
+pub use sendptr::{SendConstPtr, SendMutPtr};

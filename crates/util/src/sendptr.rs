@@ -1,0 +1,224 @@
+//! Send-able raw pointer wrappers.
+//!
+//! The parallel partitioning step of the mixed-mode Quicksort (crate
+//! `teamsteal-sort`) hands disjoint blocks of one array to the members of a
+//! team.  Each block is touched by exactly one thread at a time, but the
+//! borrow checker cannot see that, so the implementation passes raw pointers
+//! between threads.  [`SendMutPtr`] is the minimal wrapper that makes such a
+//! pointer `Send + Sync + Copy` while keeping every dereference an explicit
+//! `unsafe` operation at the use site.
+
+use std::marker::PhantomData;
+
+/// A mutable raw pointer that may be sent to and shared with other threads.
+///
+/// # Safety contract
+///
+/// Creating a `SendMutPtr` is safe; *dereferencing* it is not.  The caller of
+/// [`SendMutPtr::get`] must guarantee the usual aliasing rules: no two threads
+/// may concurrently access overlapping memory through the pointer unless all
+/// accesses are reads.
+#[derive(Debug)]
+pub struct SendMutPtr<T> {
+    ptr: *mut T,
+    _marker: PhantomData<T>,
+}
+
+impl<T> Clone for SendMutPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendMutPtr<T> {}
+
+// SAFETY: the wrapper only transports the address; all dereferences happen in
+// explicit unsafe blocks whose callers uphold the aliasing contract.
+unsafe impl<T: Send> Send for SendMutPtr<T> {}
+unsafe impl<T: Send> Sync for SendMutPtr<T> {}
+
+impl<T> SendMutPtr<T> {
+    /// Wraps a raw pointer.
+    #[inline]
+    pub fn new(ptr: *mut T) -> Self {
+        SendMutPtr {
+            ptr,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Wraps the base pointer of a mutable slice.
+    #[inline]
+    pub fn from_slice(slice: &mut [T]) -> Self {
+        Self::new(slice.as_mut_ptr())
+    }
+
+    /// Returns the wrapped raw pointer.
+    #[inline]
+    pub fn get(self) -> *mut T {
+        self.ptr
+    }
+
+    /// Returns a pointer offset by `count` elements.
+    ///
+    /// # Safety
+    ///
+    /// Same requirements as [`pointer::add`]: the offset must stay within the
+    /// same allocation.
+    #[inline]
+    pub unsafe fn add(self, count: usize) -> Self {
+        // SAFETY: forwarded to the caller.
+        Self::new(unsafe { self.ptr.add(count) })
+    }
+
+    /// Reconstructs a mutable slice of length `len` starting at the pointer.
+    ///
+    /// # Safety
+    ///
+    /// The memory range `[ptr, ptr + len)` must be valid, initialised, and not
+    /// concurrently accessed by any other thread for the lifetime `'a`.
+    #[inline]
+    pub unsafe fn slice_mut<'a>(self, len: usize) -> &'a mut [T] {
+        // SAFETY: forwarded to the caller.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr, len) }
+    }
+}
+
+/// A read-only raw pointer that may be sent to and shared with other threads.
+///
+/// The read-only sibling of [`SendMutPtr`], used by kernels that hand
+/// *immutable* input (and separately owned output) to the members of a team:
+/// every member may read the whole input concurrently, which is always safe,
+/// but the reference still has to cross the `'static` bound of the spawn
+/// APIs.  The caller of [`SendConstPtr::slice`] must guarantee that the
+/// pointee outlives every use — in practice: the slice is only used inside a
+/// scheduler scope that blocks until all spawned tasks are done.
+#[derive(Debug)]
+pub struct SendConstPtr<T> {
+    ptr: *const T,
+    _marker: PhantomData<T>,
+}
+
+impl<T> Clone for SendConstPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendConstPtr<T> {}
+
+// SAFETY: the wrapper only transports the address; shared reads are safe and
+// the lifetime obligation is documented on `slice`.
+unsafe impl<T: Sync> Send for SendConstPtr<T> {}
+unsafe impl<T: Sync> Sync for SendConstPtr<T> {}
+
+impl<T> SendConstPtr<T> {
+    /// Wraps a raw pointer.
+    #[inline]
+    pub fn new(ptr: *const T) -> Self {
+        SendConstPtr {
+            ptr,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Wraps the base pointer of a shared slice.
+    #[inline]
+    pub fn from_slice(slice: &[T]) -> Self {
+        Self::new(slice.as_ptr())
+    }
+
+    /// Returns the wrapped raw pointer.
+    #[inline]
+    pub fn get(self) -> *const T {
+        self.ptr
+    }
+
+    /// Returns a pointer offset by `count` elements.
+    ///
+    /// # Safety
+    ///
+    /// Same requirements as [`pointer::add`]: the offset must stay within the
+    /// same allocation.
+    #[inline]
+    pub unsafe fn add(self, count: usize) -> Self {
+        // SAFETY: forwarded to the caller.
+        Self::new(unsafe { self.ptr.add(count) })
+    }
+
+    /// Reconstructs a shared slice of length `len` starting at the pointer.
+    ///
+    /// # Safety
+    ///
+    /// The memory range `[ptr, ptr + len)` must be valid, initialised, not
+    /// mutated by anyone for the lifetime `'a`, and must outlive `'a`.
+    #[inline]
+    pub unsafe fn slice<'a>(self, len: usize) -> &'a [T] {
+        // SAFETY: forwarded to the caller.
+        unsafe { std::slice::from_raw_parts(self.ptr, len) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_threads() {
+        let mut data: Vec<u64> = (0..128).collect();
+        let base = SendMutPtr::from_slice(&mut data);
+        let handles: Vec<_> = (0..4)
+            .map(|chunk| {
+                std::thread::spawn(move || {
+                    // Each thread owns a disjoint 32-element block.
+                    let slice = unsafe { base.add(chunk * 32).slice_mut(32) };
+                    for x in slice.iter_mut() {
+                        *x += 1000;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(data.iter().enumerate().all(|(i, &x)| x == i as u64 + 1000));
+    }
+
+    #[test]
+    fn copy_semantics() {
+        let mut v = [1u8, 2, 3];
+        let p = SendMutPtr::from_slice(&mut v);
+        let q = p;
+        assert_eq!(p.get(), q.get());
+    }
+
+    #[test]
+    fn const_ptr_shared_reads_from_threads() {
+        let data: Vec<u32> = (0..256).collect();
+        let base = SendConstPtr::from_slice(&data);
+        let n = data.len();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    // SAFETY: the slice outlives the threads (joined below)
+                    // and nobody mutates it.
+                    let slice = unsafe { base.slice(n) };
+                    slice.iter().map(|&x| x as u64).sum::<u64>()
+                })
+            })
+            .collect();
+        let expected: u64 = data.iter().map(|&x| x as u64).sum();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn const_ptr_offset_and_copy() {
+        let data = [10u8, 20, 30, 40];
+        let p = SendConstPtr::from_slice(&data);
+        let q = p;
+        assert_eq!(p.get(), q.get());
+        // SAFETY: offset 2 stays inside the 4-element array.
+        let tail = unsafe { p.add(2).slice(2) };
+        assert_eq!(tail, &[30, 40]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Timing and summary statistics for the benchmark harness.
+//!
+//! The paper reports, for every configuration, the *average* and the *best
+//! (minimum)* wall-clock time over 10 repetitions, plus the speedup relative
+//! to the best sequential implementation.  [`RunStats`] captures exactly that
+//! aggregation so the table harness (crate `teamsteal-bench`) and the
+//! experiments document can share one implementation.
+
+use std::time::{Duration, Instant};
+
+/// Measures the wall-clock time of a closure.
+pub fn time<R>(f: impl FnOnce() -> R) -> (Duration, R) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed(), out)
+}
+
+/// Summary statistics over repeated timed runs of one configuration.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunStats {
+    samples: Vec<Duration>,
+}
+
+impl RunStats {
+    /// Creates an empty statistics collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: Duration) {
+        self.samples.push(sample);
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// All recorded samples, in insertion order.
+    pub fn samples(&self) -> &[Duration] {
+        &self.samples
+    }
+
+    /// Average (arithmetic mean) of the samples.
+    ///
+    /// Returns [`Duration::ZERO`] when empty.
+    pub fn average(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: Duration = self.samples.iter().sum();
+        total / self.samples.len() as u32
+    }
+
+    /// Best (minimum) sample.  Returns [`Duration::ZERO`] when empty.
+    pub fn best(&self) -> Duration {
+        self.samples.iter().min().copied().unwrap_or(Duration::ZERO)
+    }
+
+    /// Worst (maximum) sample.  Returns [`Duration::ZERO`] when empty.
+    pub fn worst(&self) -> Duration {
+        self.samples.iter().max().copied().unwrap_or(Duration::ZERO)
+    }
+
+    /// Sample standard deviation in seconds (0 for fewer than two samples).
+    pub fn stddev_secs(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.average().as_secs_f64();
+        let var = self
+            .samples
+            .iter()
+            .map(|s| {
+                let d = s.as_secs_f64() - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / (n - 1) as f64;
+        var.sqrt()
+    }
+}
+
+/// Speedup of `parallel` relative to `reference` (how the paper's `SU`
+/// columns are computed: sequential reference time divided by parallel time).
+///
+/// Returns 0 when the parallel time is zero (degenerate measurement).
+pub fn speedup(reference: Duration, parallel: Duration) -> f64 {
+    let p = parallel.as_secs_f64();
+    if p == 0.0 {
+        0.0
+    } else {
+        reference.as_secs_f64() / p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_measures_something() {
+        let (d, out) = time(|| {
+            std::thread::sleep(Duration::from_millis(2));
+            42
+        });
+        assert_eq!(out, 42);
+        assert!(d >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn stats_average_and_best() {
+        let mut s = RunStats::new();
+        s.record(Duration::from_millis(10));
+        s.record(Duration::from_millis(20));
+        s.record(Duration::from_millis(30));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.average(), Duration::from_millis(20));
+        assert_eq!(s.best(), Duration::from_millis(10));
+        assert_eq!(s.worst(), Duration::from_millis(30));
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = RunStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.average(), Duration::ZERO);
+        assert_eq!(s.best(), Duration::ZERO);
+        assert_eq!(s.stddev_secs(), 0.0);
+    }
+
+    #[test]
+    fn stddev_of_constant_samples_is_zero() {
+        let mut s = RunStats::new();
+        for _ in 0..5 {
+            s.record(Duration::from_millis(7));
+        }
+        assert!(s.stddev_secs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_matches_paper_convention() {
+        // Table 1, Random 10^7: Seq/STL 0.940 s, MMPar 0.201 s => SU 4.7.
+        let su = speedup(Duration::from_millis(940), Duration::from_millis(201));
+        assert!((su - 4.676).abs() < 0.01);
+        assert_eq!(speedup(Duration::from_secs(1), Duration::ZERO), 0.0);
+    }
+}

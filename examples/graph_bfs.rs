@@ -1,0 +1,61 @@
+//! Breadth-first search over a grid graph with team-parallel frontier
+//! expansion.
+//!
+//! BFS levels start tiny, grow into wide data-parallel frontiers, and shrink
+//! again — the mixed-mode shape the scheduler targets: small levels stay on
+//! one thread, wide levels become one team task each.
+//!
+//! ```text
+//! cargo run --release --example graph_bfs [width] [height] [threads]
+//! ```
+
+use teamsteal::apps::bfs::{bfs_mixed, bfs_sequential, CsrGraph, UNREACHABLE};
+use teamsteal::Scheduler;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let width: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(600);
+    let height: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(400);
+    let threads: usize = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4));
+
+    println!("graph_bfs: {width}x{height} grid graph, {threads} worker threads");
+    let graph = CsrGraph::grid(width, height);
+    println!(
+        "  {} vertices, {} directed edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    let source = 0u32;
+    let t0 = std::time::Instant::now();
+    let reference = bfs_sequential(&graph, source);
+    let seq_time = t0.elapsed();
+
+    let scheduler = Scheduler::with_threads(threads);
+    let t1 = std::time::Instant::now();
+    let distances = bfs_mixed(&scheduler, &graph, source);
+    let mixed_time = t1.elapsed();
+
+    assert_eq!(distances, reference, "mixed-mode BFS must agree with sequential BFS");
+
+    let reachable = distances.iter().filter(|&&d| d != UNREACHABLE).count();
+    let eccentricity = distances
+        .iter()
+        .filter(|&&d| d != UNREACHABLE)
+        .max()
+        .copied()
+        .unwrap_or(0);
+    println!("  sequential:  {:.3?}", seq_time);
+    println!("  mixed-mode:  {:.3?}", mixed_time);
+    println!("  reachable vertices: {reachable}");
+    println!("  eccentricity of the source: {eccentricity}");
+
+    let metrics = scheduler.metrics();
+    println!(
+        "  scheduler: {} teams formed for the wide levels, {} sequential tasks",
+        metrics.teams_formed, metrics.tasks_executed
+    );
+}

@@ -1,0 +1,57 @@
+//! # teamsteal — work-stealing for mixed-mode parallelism by deterministic team-building
+//!
+//! Facade crate re-exporting the public API of the `teamsteal` workspace, a
+//! Rust reproduction of *Wimmer & Träff, "Work-stealing for mixed-mode
+//! parallelism by deterministic team-building" (SPAA 2011)*.
+//!
+//! * [`core`](teamsteal_core) — the scheduler itself ([`Scheduler`],
+//!   [`Scope`], [`TaskContext`], team barrier, metrics).
+//! * [`topology`](teamsteal_topology) — machine hierarchy and deterministic
+//!   partner computation.
+//! * [`sort`](teamsteal_sort) — the paper's evaluation workload: sequential,
+//!   fork-join and mixed-mode parallel Quicksort.
+//! * [`data`](teamsteal_data) — the benchmark input distributions.
+//!
+//! See the README for an overview and `DESIGN.md` / `EXPERIMENTS.md` for the
+//! reproduction details.
+//!
+//! ```
+//! use teamsteal::{Scheduler, SortConfig};
+//!
+//! let scheduler = Scheduler::with_threads(4);
+//! let mut data: Vec<u32> = (0..100_000u32).rev().collect();
+//! teamsteal::mixed_mode_sort(&scheduler, &mut data, &SortConfig::default());
+//! assert!(data.windows(2).all(|w| w[0] <= w[1]));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use teamsteal_core::{
+    Job, MetricsSnapshot, Scheduler, SchedulerBuilder, SchedulerConfig, Scope, StealAmount,
+    StealPolicy, TaskContext, TeamBarrier, Topology,
+};
+pub use teamsteal_data::{is_permutation_of, is_sorted, Distribution, Scale};
+pub use teamsteal_sort::{
+    best_np, fork_join_sort, mixed_mode_sort, sample_sort, sequential_quicksort, std_sort,
+    ParallelPartitioner, SortConfig,
+};
+
+/// Further mixed-mode parallel application kernels built on the scheduler
+/// (reductions, scans, merge sort, matrix multiplication, stencils, BFS,
+/// histograms) — the paper's "future work" applications.
+pub mod apps {
+    pub use teamsteal_apps::*;
+}
+
+/// Re-export of the individual workspace crates for users that need the
+/// lower-level substrates (deque, registration word, utilities).
+pub mod crates {
+    pub use teamsteal_apps as apps;
+    pub use teamsteal_core as core;
+    pub use teamsteal_data as data;
+    pub use teamsteal_deque as deque;
+    pub use teamsteal_registration as registration;
+    pub use teamsteal_sort as sort;
+    pub use teamsteal_topology as topology;
+    pub use teamsteal_util as util;
+}
