@@ -19,10 +19,12 @@
 
 #![warn(missing_docs)]
 
+#[cfg(feature = "cilk-substitute")]
 pub mod cilk_substitute;
 pub mod runner;
 pub mod tables;
 
+#[cfg(feature = "cilk-substitute")]
 pub use cilk_substitute::{rayon_join_quicksort, rayon_par_sort};
 pub use runner::{Measurement, Variant, VariantRunner};
 pub use tables::{render_table, run_table, Aggregation, TableResult, TableSpec};

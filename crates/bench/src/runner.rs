@@ -6,6 +6,7 @@ use teamsteal_core::{Scheduler, StealPolicy};
 use teamsteal_sort::{fork_join_sort, mixed_mode_sort, sequential_quicksort, std_sort, SortConfig};
 use teamsteal_util::timing::time;
 
+#[cfg(feature = "cilk-substitute")]
 use crate::cilk_substitute::{rayon_join_quicksort, rayon_par_sort, rayon_pool};
 
 /// The sorting variants of the paper's tables.
@@ -69,6 +70,7 @@ pub struct VariantRunner {
     det: Option<Scheduler>,
     rand: Option<Scheduler>,
     team: Option<Scheduler>,
+    #[cfg(feature = "cilk-substitute")]
     rayon: Option<rayon::ThreadPool>,
 }
 
@@ -82,6 +84,7 @@ impl VariantRunner {
             det: None,
             rand: None,
             team: None,
+            #[cfg(feature = "cilk-substitute")]
             rayon: None,
         }
     }
@@ -126,6 +129,7 @@ impl VariantRunner {
         })
     }
 
+    #[cfg(feature = "cilk-substitute")]
     fn rayon_pool(&mut self) -> &rayon::ThreadPool {
         let threads = self.threads;
         self.rayon.get_or_insert_with(|| rayon_pool(threads))
@@ -148,14 +152,21 @@ impl VariantRunner {
                 let scheduler = self.rand_scheduler();
                 time(|| fork_join_sort(scheduler, &mut data, &config))
             }
+            #[cfg(feature = "cilk-substitute")]
             Variant::RayonJoin => {
                 let pool = self.rayon_pool();
                 time(|| rayon_join_quicksort(pool, &mut data, &config))
             }
+            #[cfg(feature = "cilk-substitute")]
             Variant::RayonSort => {
                 let pool = self.rayon_pool();
                 time(|| rayon_par_sort(pool, &mut data))
             }
+            #[cfg(not(feature = "cilk-substitute"))]
+            Variant::RayonJoin | Variant::RayonSort => panic!(
+                "{} requires the `cilk-substitute` feature of teamsteal-bench",
+                variant.label()
+            ),
             Variant::MmPar => {
                 let scheduler = self.team_scheduler();
                 time(|| mixed_mode_sort(scheduler, &mut data, &config))
@@ -203,15 +214,17 @@ mod tests {
             min_blocks_per_thread: 4,
         };
         let mut runner = VariantRunner::new(2, config);
-        for variant in [
+        let mut variants = vec![
             Variant::SeqStd,
             Variant::SeqQs,
             Variant::Fork,
             Variant::RandFork,
-            Variant::RayonJoin,
-            Variant::RayonSort,
             Variant::MmPar,
-        ] {
+        ];
+        if cfg!(feature = "cilk-substitute") {
+            variants.extend([Variant::RayonJoin, Variant::RayonSort]);
+        }
+        for variant in variants {
             let m = runner.measure(variant, &input);
             assert!(m.duration > Duration::ZERO);
             assert_eq!(m.variant, variant);

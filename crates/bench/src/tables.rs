@@ -78,7 +78,7 @@ impl TableSpec {
             Variant::Fork,
             Variant::RandFork,
         ];
-        if self.with_cilk {
+        if self.with_cilk && cfg!(feature = "cilk-substitute") {
             v.push(Variant::RayonJoin);
             v.push(Variant::RayonSort);
         }
@@ -269,18 +269,17 @@ mod tests {
     #[test]
     fn variant_order_matches_paper_columns() {
         let with_cilk = TableSpec::by_number(1).unwrap().variants();
-        assert_eq!(
-            with_cilk,
-            vec![
-                Variant::SeqStd,
-                Variant::SeqQs,
-                Variant::Fork,
-                Variant::RandFork,
-                Variant::RayonJoin,
-                Variant::RayonSort,
-                Variant::MmPar
-            ]
-        );
+        let mut expected = vec![
+            Variant::SeqStd,
+            Variant::SeqQs,
+            Variant::Fork,
+            Variant::RandFork,
+        ];
+        if cfg!(feature = "cilk-substitute") {
+            expected.extend([Variant::RayonJoin, Variant::RayonSort]);
+        }
+        expected.push(Variant::MmPar);
+        assert_eq!(with_cilk, expected);
         let without = TableSpec::by_number(3).unwrap().variants();
         assert!(!without.contains(&Variant::RayonJoin));
         assert_eq!(*without.last().unwrap(), Variant::MmPar);

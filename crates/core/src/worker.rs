@@ -321,7 +321,6 @@ impl Worker {
             barrier: None,
         };
         Self::run_job(node, &ctx);
-        drop(ctx);
         self.me().counters.inc_tasks_executed();
         self.finish_node(ptr);
     }
@@ -483,7 +482,6 @@ impl Worker {
             barrier,
         };
         Self::run_job(node, &ctx);
-        drop(ctx);
         self.me().counters.inc_team_tasks_executed();
         self.finish_node(ptr);
         // Wait until every member has started before allowing the next
@@ -610,7 +608,6 @@ impl Worker {
             barrier,
         };
         Self::run_job(node, &ctx);
-        drop(ctx);
         self.me().counters.inc_team_tasks_executed();
         self.finish_node(ptr);
     }

@@ -263,7 +263,7 @@ mod tests {
         // Within the first block (n/p values) the first n/p² values must come
         // from the lowest quarter of the value range.
         let sub = n / (p * p);
-        let quarter = (u32::MAX / 4) as u32;
+        let quarter = u32::MAX / 4;
         assert!(data[..sub].iter().all(|&x| x <= quarter));
         // ... and the last n/p² values of the first block from the top quarter.
         let block = n / p;

@@ -202,7 +202,7 @@ impl ParallelPartitioner {
     fn compact_leftovers(
         &self,
         ptr: SendMutPtr<u32>,
-        leftovers: &mut Vec<usize>,
+        leftovers: &[usize],
         region_start: usize,
         region_len: usize,
         innermost_last: bool,
@@ -247,7 +247,7 @@ impl ParallelPartitioner {
         let taken_right = (cur & 0xFFFF_FFFF) as usize;
         debug_assert!(taken_left + taken_right <= self.nblocks);
 
-        let mut lo_left: Vec<usize> = self
+        let lo_left: Vec<usize> = self
             .leftover_left
             .iter()
             .filter_map(|a| {
@@ -255,7 +255,7 @@ impl ParallelPartitioner {
                 (v > 0).then(|| v - 1)
             })
             .collect();
-        let mut lo_right: Vec<usize> = self
+        let lo_right: Vec<usize> = self
             .leftover_right
             .iter()
             .filter_map(|a| {
@@ -264,10 +264,10 @@ impl ParallelPartitioner {
             })
             .collect();
 
-        let ll = self.compact_leftovers(ptr, &mut lo_left, 0, taken_left, true);
+        let ll = self.compact_leftovers(ptr, &lo_left, 0, taken_left, true);
         let rl = self.compact_leftovers(
             ptr,
-            &mut lo_right,
+            &lo_right,
             self.nblocks - taken_right,
             taken_right,
             false,

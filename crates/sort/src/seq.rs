@@ -156,7 +156,7 @@ mod tests {
         assert!(left_len <= right_start && right_start <= v.len());
         assert!(v[..left_len].iter().all(|&x| x <= pivot));
         assert!(v[left_len..right_start].iter().all(|&x| x == pivot));
-        assert!(v[right_start..].iter().all(|&x| x > pivot || x == pivot));
+        assert!(v[right_start..].iter().all(|&x| x >= pivot));
         // Sorting the two recursion ranges independently sorts the slice.
         v[..left_len].sort_unstable();
         v[right_start..].sort_unstable();

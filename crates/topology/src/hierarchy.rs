@@ -510,6 +510,7 @@ mod tests {
 
     proptest! {
         #[test]
+        #[allow(clippy::needless_range_loop)]
         fn groups_partition_the_machine(p in arb_p()) {
             let topo = Topology::balanced(p);
             for level in 0..topo.num_queue_levels() {

@@ -148,7 +148,7 @@ mod tests {
     #[test]
     fn msb_matches_ilog2() {
         for x in 1usize..10_000 {
-            assert_eq!(msb_index(x) as u32, x.ilog2());
+            assert_eq!(msb_index(x), x.ilog2());
         }
     }
 

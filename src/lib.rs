@@ -12,8 +12,9 @@
 //!   fork-join and mixed-mode parallel Quicksort.
 //! * [`data`](teamsteal_data) — the benchmark input distributions.
 //!
-//! See the README for an overview and `DESIGN.md` / `EXPERIMENTS.md` for the
-//! reproduction details.
+//! At the repository root, `README.md` gives an overview of the workspace
+//! layout, `DESIGN.md` documents the reproduction decisions and deviations,
+//! and `EXPERIMENTS.md` records how to regenerate the paper's tables.
 //!
 //! ```
 //! use teamsteal::{Scheduler, SortConfig};

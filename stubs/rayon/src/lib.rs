@@ -1,0 +1,191 @@
+//! Offline stub of `rayon` providing the surface `teamsteal-bench` uses for
+//! its Cilk++-substitute baselines: [`join`], [`ThreadPool`] /
+//! [`ThreadPoolBuilder`], and [`slice::ParallelSliceMut::par_sort_unstable`].
+//!
+//! Semantics are preserved (both closures of `join` run to completion,
+//! panics propagate, sorts sort); performance characteristics are NOT those
+//! of real rayon: `join` forks a real OS thread only while fewer than
+//! `2 × available_parallelism` stub threads are live (no work-stealing pool),
+//! and `par_sort_unstable` is a sequential `sort_unstable`. Benchmarks that
+//! compare against these baselines therefore understate rayon.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of currently live threads forked by [`join`].
+static LIVE_FORKS: AtomicUsize = AtomicUsize::new(0);
+
+fn fork_budget() -> usize {
+    static BUDGET: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        2 * std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    })
+}
+
+/// Decrements [`LIVE_FORKS`] on drop, so a panic unwinding out of a join
+/// closure cannot leak fork permits and serialize the rest of the process.
+struct ForkPermit;
+
+impl Drop for ForkPermit {
+    fn drop(&mut self) {
+        LIVE_FORKS.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Runs `a` and `b`, potentially in parallel, and returns both results.
+///
+/// Unlike real rayon there is no work-stealing: `b` is forked onto a fresh
+/// scoped thread while the live-fork budget allows it, otherwise both
+/// closures run sequentially on the caller's thread.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let under_budget = LIVE_FORKS.fetch_add(1, Ordering::Relaxed) < fork_budget();
+    let _permit = ForkPermit;
+    if under_budget {
+        std::thread::scope(|s| {
+            let handle = s.spawn(b);
+            let ra = a();
+            let rb = match handle.join() {
+                Ok(rb) => rb,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            (ra, rb)
+        })
+    } else {
+        (a(), b())
+    }
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`]. The stub never fails.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("stub rayon pools cannot fail to build")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a new builder with default configuration.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the number of worker threads (recorded but, in the stub, only
+    /// reported back via [`ThreadPool::current_num_threads`]).
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool. The stub cannot fail.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A handle that in real rayon owns worker threads; the stub merely records
+/// the requested width and executes [`install`](ThreadPool::install) inline.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Executes `op` "inside" the pool (inline, in the stub).
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        op()
+    }
+
+    /// The number of threads this pool was configured with.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+pub mod slice {
+    //! Stub of `rayon::slice`: parallel sort entry points, run sequentially.
+
+    /// Parallel (here: sequential) sorting extension trait for slices.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Sorts the slice. The stub delegates to `slice::sort_unstable`.
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord,
+        {
+            self.sort_unstable();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn join_nests_deeply_without_exhausting_threads() {
+        fn sum(range: std::ops::Range<u64>) -> u64 {
+            let (start, end) = (range.start, range.end);
+            if end - start <= 64 {
+                return range.sum();
+            }
+            let mid = start + (end - start) / 2;
+            let (lo, hi) = join(|| sum(start..mid), || sum(mid..end));
+            lo + hi
+        }
+        assert_eq!(sum(0..100_000), 100_000 * 99_999 / 2);
+    }
+
+    #[test]
+    fn pool_builds_and_installs() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        assert_eq!(pool.install(|| 41 + 1), 42);
+    }
+
+    #[test]
+    fn par_sort_unstable_sorts() {
+        use slice::ParallelSliceMut;
+        let mut v = vec![3u32, 1, 2];
+        v.par_sort_unstable();
+        assert_eq!(v, [1, 2, 3]);
+    }
+}

@@ -1,0 +1,28 @@
+//! Smoke test guarding the facade API used by `examples/quickstart.rs`: a
+//! small scheduler must build, sort a non-trivial input through the
+//! mixed-mode path, and report sane metrics.
+
+use teamsteal::{is_permutation_of, is_sorted, Scheduler, SortConfig};
+
+#[test]
+fn quickstart_equivalent_sorts_on_two_threads() {
+    let scheduler = Scheduler::with_threads(2);
+    let original: Vec<u32> = (0..10_000u32).rev().collect();
+    let mut data = original.clone();
+    teamsteal::mixed_mode_sort(&scheduler, &mut data, &SortConfig::default());
+    assert!(is_sorted(&data), "mixed_mode_sort left data unsorted");
+    assert!(
+        is_permutation_of(&original, &data),
+        "mixed_mode_sort lost or duplicated elements"
+    );
+}
+
+#[test]
+fn facade_reexports_cover_the_quickstart_surface() {
+    // Compile-time guard: these paths are what README/quickstart advertise.
+    let _build = Scheduler::builder;
+    let _sort: fn(&Scheduler, &mut [u32], &SortConfig) = teamsteal::mixed_mode_sort;
+    let _fork: fn(&Scheduler, &mut [u32], &SortConfig) = teamsteal::fork_join_sort;
+    let config = SortConfig::default();
+    assert!(config.cutoff > 0);
+}

@@ -117,7 +117,9 @@ fn team_members_get_consecutive_local_ids_and_aligned_bases() {
     // Lemma / Section 3.1: teams consist of consecutively numbered threads
     // k*r ..= (k+1)*r - 1 and local ids are global id minus the team base.
     let scheduler = Scheduler::with_threads(8);
-    let observations: Arc<std::sync::Mutex<Vec<(usize, usize, usize, usize)>>> =
+    // (worker id, team base, local id, team size) per member.
+    type Observation = (usize, usize, usize, usize);
+    let observations: Arc<std::sync::Mutex<Vec<Observation>>> =
         Arc::new(std::sync::Mutex::new(Vec::new()));
     {
         let observations = Arc::clone(&observations);

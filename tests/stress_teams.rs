@@ -44,7 +44,7 @@ fn oscillating_team_sizes() {
                 });
             } else {
                 scope.spawn_team(r, move |ctx| {
-                    assert_eq!(ctx.team_size() >= ctx.requested_threads(), true);
+                    assert!(ctx.team_size() >= ctx.requested_threads());
                     total.fetch_add(1, Ordering::Relaxed);
                     ctx.barrier();
                 });
