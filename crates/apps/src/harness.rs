@@ -1,0 +1,433 @@
+//! Uniform timed-run entry points for the application kernels.
+//!
+//! The perf-trajectory harness (`teamsteal-bench`, `perf` bin) needs to
+//! sweep every kernel the same way: prepare a deterministic input once, run
+//! an untimed sequential reference, then time repeated mixed-mode executions
+//! on a caller-supplied scheduler.  Each kernel module exposes a different
+//! natural signature (slices, matrices, graphs, configs), so this module
+//! normalizes them behind one shape:
+//!
+//! * [`Kernel`] names a kernel ([`Kernel::ALL`] is the sweep set),
+//! * [`Workload::prepare`] builds the kernel's input for a size budget and
+//!   seed, and computes the expected output via the sequential
+//!   implementation,
+//! * [`Workload::run_sequential`] / [`Workload::run_mixed`] each perform
+//!   **one** timed, validated execution and return its wall-clock duration.
+//!
+//! Every run is validated against the expected output (exactly for integer
+//! kernels, to ~1e-9 relative error for the floating-point ones, whose
+//! chunked evaluation can legally reassociate sums), so a broken kernel can
+//! never report a good time.
+//!
+//! ```
+//! use teamsteal_apps::harness::{Kernel, Workload};
+//! use teamsteal_core::Scheduler;
+//!
+//! let scheduler = Scheduler::with_threads(2);
+//! let workload = Workload::prepare(Kernel::Reduce, 50_000, 42);
+//! let seq = workload.run_sequential();
+//! let mixed = workload.run_mixed(&scheduler);
+//! assert!(seq > std::time::Duration::ZERO);
+//! assert!(mixed > std::time::Duration::ZERO);
+//! ```
+
+use std::time::Duration;
+
+use teamsteal_core::Scheduler;
+use teamsteal_data::Distribution;
+use teamsteal_util::rng::Xoshiro256;
+use teamsteal_util::timing::time;
+
+use crate::bfs::{bfs_mixed_with, bfs_sequential, CsrGraph};
+use crate::histogram::{histogram_mixed_with, histogram_sequential};
+use crate::matmul::{matmul_mixed_with, matmul_sequential, Matrix};
+use crate::reduce::team_reduce_with;
+use crate::scan::scan_with;
+use crate::stencil::{jacobi_mixed, jacobi_sequential, StencilConfig};
+
+/// The application kernels covered by the perf harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// Team-parallel sum reduction ([`crate::reduce`]).
+    Reduce,
+    /// Inclusive prefix sum ([`crate::scan`]).
+    Scan,
+    /// Blocked dense matrix multiplication ([`crate::matmul`]).
+    MatMul,
+    /// Iterative 1-D Jacobi stencil ([`crate::stencil`]).
+    Stencil,
+    /// Level-synchronous breadth-first search ([`crate::bfs`]).
+    Bfs,
+    /// Bucket counting ([`crate::histogram`]).
+    Histogram,
+}
+
+impl Kernel {
+    /// Every kernel, in the order the perf harness sweeps them.
+    pub const ALL: [Kernel; 6] = [
+        Kernel::Reduce,
+        Kernel::Scan,
+        Kernel::MatMul,
+        Kernel::Stencil,
+        Kernel::Bfs,
+        Kernel::Histogram,
+    ];
+
+    /// Stable lowercase name used in reports and on the command line.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Kernel::Reduce => "reduce",
+            Kernel::Scan => "scan",
+            Kernel::MatMul => "matmul",
+            Kernel::Stencil => "stencil",
+            Kernel::Bfs => "bfs",
+            Kernel::Histogram => "histogram",
+        }
+    }
+}
+
+/// Number of Jacobi sweeps every stencil workload performs.
+const STENCIL_SWEEPS: usize = 10;
+
+/// Histogram bucket count.
+const HISTOGRAM_BUCKETS: usize = 256;
+
+/// Prepared input plus expected output of one kernel.
+enum Payload {
+    /// Reduce input with the expected sum.
+    ReduceInts { data: Vec<u64>, expected_sum: u64 },
+    /// Scan input with the expected inclusive prefix sums.
+    ScanInts {
+        data: Vec<u64>,
+        expected_scan: Vec<u64>,
+    },
+    /// Histogram keys with expected bucket counts.
+    Keys {
+        data: Vec<u32>,
+        expected: Vec<u64>,
+    },
+    /// Stencil grid with the expected post-iteration grid.
+    Grid {
+        data: Vec<f64>,
+        config: StencilConfig,
+        expected: Vec<f64>,
+    },
+    /// Matmul operands with the expected product.
+    Matrices {
+        a: Matrix,
+        b: Matrix,
+        expected: Matrix,
+    },
+    /// BFS graph with the expected distance vector.
+    Graph {
+        graph: CsrGraph,
+        expected: Vec<u32>,
+    },
+}
+
+/// A prepared, validated kernel workload with uniform timed-run entry
+/// points.  See the [module docs](self) for the contract.
+pub struct Workload {
+    kernel: Kernel,
+    size: usize,
+    min_per_member: usize,
+    payload: Payload,
+}
+
+impl Workload {
+    /// Prepares the input for `kernel` at roughly `size` elements of work,
+    /// deterministically from `seed`, and computes the expected output.
+    ///
+    /// `size` is the element count for the linear kernels (reduce, scan,
+    /// histogram, stencil) and a work budget for the others: matmul uses
+    /// square operands of dimension `2·∛size` and BFS a `√size × √size` grid
+    /// graph.  The per-member team threshold scales down with `size` so that
+    /// even smoke-sized workloads exercise the team path.
+    pub fn prepare(kernel: Kernel, size: usize, seed: u64) -> Self {
+        let size = size.max(16);
+        // Thresholds tuned so that a perf-sized run (~2^19 elements) uses
+        // the kernels' defaults while a smoke-sized run still builds teams.
+        let min_per_member = (size / 16).clamp(128, 8 * 1024);
+        let mut rng = Xoshiro256::new(seed ^ 0x7ea_57ea1);
+        let payload = match kernel {
+            Kernel::Reduce => {
+                let data: Vec<u64> = (0..size).map(|_| rng.next_u64() % 1_000_003).collect();
+                let expected_sum = data.iter().sum();
+                Payload::ReduceInts { data, expected_sum }
+            }
+            Kernel::Scan => {
+                let data: Vec<u64> = (0..size).map(|_| rng.next_u64() % 1_000_003).collect();
+                let mut expected_scan = Vec::with_capacity(size);
+                let mut acc = 0u64;
+                for &x in &data {
+                    acc += x;
+                    expected_scan.push(acc);
+                }
+                Payload::ScanInts {
+                    data,
+                    expected_scan,
+                }
+            }
+            Kernel::Histogram => {
+                let data = Distribution::Random.generate(size, 8, seed);
+                let expected = histogram_sequential(&data, HISTOGRAM_BUCKETS);
+                Payload::Keys { data, expected }
+            }
+            Kernel::Stencil => {
+                let data: Vec<f64> = (0..size).map(|_| rng.next_f64()).collect();
+                let config = StencilConfig {
+                    sweeps: STENCIL_SWEEPS,
+                    alpha: 0.25,
+                    min_cells_per_member: min_per_member,
+                };
+                let expected = jacobi_sequential(&data, &config);
+                Payload::Grid {
+                    data,
+                    config,
+                    expected,
+                }
+            }
+            Kernel::MatMul => {
+                let dim = (((size as f64).cbrt() as usize) * 2).max(8);
+                let mut gen = |_r: usize, _c: usize| rng.next_f64() - 0.5;
+                let a = Matrix::from_fn(dim, dim, &mut gen);
+                let b = Matrix::from_fn(dim, dim, &mut gen);
+                let expected = matmul_sequential(&a, &b);
+                Payload::Matrices { a, b, expected }
+            }
+            Kernel::Bfs => {
+                let side = ((size as f64).sqrt() as usize).max(4);
+                let graph = CsrGraph::grid(side, side);
+                let expected = bfs_sequential(&graph, 0);
+                Payload::Graph { graph, expected }
+            }
+        };
+        Workload {
+            kernel,
+            size,
+            min_per_member,
+            payload,
+        }
+    }
+
+    /// The kernel this workload was prepared for.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// The size budget the workload was prepared with.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// One timed execution of the sequential implementation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output does not match the expected output computed at
+    /// [`Workload::prepare`] time.
+    pub fn run_sequential(&self) -> Duration {
+        match &self.payload {
+            Payload::ReduceInts { data, expected_sum } => {
+                let (d, total) = time(|| data.iter().sum::<u64>());
+                assert_eq!(total, *expected_sum, "sequential reduce mismatch");
+                d
+            }
+            Payload::ScanInts {
+                data,
+                expected_scan,
+            } => {
+                let (d, out) = time(|| {
+                    let mut out = Vec::with_capacity(data.len());
+                    let mut acc = 0u64;
+                    for &x in data {
+                        acc += x;
+                        out.push(acc);
+                    }
+                    out
+                });
+                assert_eq!(&out, expected_scan, "sequential scan mismatch");
+                d
+            }
+            Payload::Keys { data, expected } => {
+                let (d, out) = time(|| histogram_sequential(data, HISTOGRAM_BUCKETS));
+                assert_eq!(&out, expected, "sequential histogram mismatch");
+                d
+            }
+            Payload::Grid {
+                data,
+                config,
+                expected,
+            } => {
+                let (d, out) = time(|| jacobi_sequential(data, config));
+                assert_grids_close(&out, expected, "sequential stencil");
+                d
+            }
+            Payload::Matrices { a, b, expected } => {
+                let (d, out) = time(|| matmul_sequential(a, b));
+                assert!(
+                    out.max_abs_diff(expected) <= matmul_tolerance(a),
+                    "sequential matmul mismatch"
+                );
+                d
+            }
+            Payload::Graph { graph, expected } => {
+                let (d, out) = time(|| bfs_sequential(graph, 0));
+                assert_eq!(&out, expected, "sequential BFS mismatch");
+                d
+            }
+        }
+    }
+
+    /// One timed execution of the mixed-mode implementation on `scheduler`.
+    ///
+    /// Only the kernel itself is timed; output buffers are allocated and the
+    /// result is validated outside the timed region.  Capture
+    /// [`Scheduler::metrics`] around this call to attribute scheduler events
+    /// to the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output does not match the expected output computed at
+    /// [`Workload::prepare`] time.
+    pub fn run_mixed(&self, scheduler: &Scheduler) -> Duration {
+        match &self.payload {
+            Payload::ReduceInts { data, expected_sum } => {
+                let (d, total) = time(|| {
+                    team_reduce_with(scheduler, data, 0u64, |a, b| a + b, self.min_per_member)
+                });
+                assert_eq!(total, *expected_sum, "mixed reduce mismatch");
+                d
+            }
+            Payload::ScanInts {
+                data,
+                expected_scan,
+            } => {
+                let mut out = vec![0u64; data.len()];
+                let (d, ()) = time(|| {
+                    scan_with(
+                        scheduler,
+                        data,
+                        &mut out,
+                        0u64,
+                        |a, b| a + b,
+                        true,
+                        self.min_per_member,
+                    )
+                });
+                assert_eq!(&out, expected_scan, "mixed scan mismatch");
+                d
+            }
+            Payload::Keys { data, expected } => {
+                let (d, out) = time(|| {
+                    histogram_mixed_with(scheduler, data, HISTOGRAM_BUCKETS, self.min_per_member)
+                });
+                assert_eq!(&out, expected, "mixed histogram mismatch");
+                d
+            }
+            Payload::Grid {
+                data,
+                config,
+                expected,
+            } => {
+                let (d, out) = time(|| jacobi_mixed(scheduler, data, config));
+                assert_grids_close(&out, expected, "mixed stencil");
+                d
+            }
+            Payload::Matrices { a, b, expected } => {
+                let (d, out) = time(|| {
+                    // The flops threshold mirrors `min_per_member`, scaled by
+                    // the ~2·k flops each output element costs.
+                    matmul_mixed_with(scheduler, a, b, self.min_per_member * 2 * a.cols())
+                });
+                assert!(
+                    out.max_abs_diff(expected) <= matmul_tolerance(a),
+                    "mixed matmul mismatch"
+                );
+                d
+            }
+            Payload::Graph { graph, expected } => {
+                let (d, out) = time(|| bfs_mixed_with(scheduler, graph, 0, self.min_per_member));
+                assert_eq!(&out, expected, "mixed BFS mismatch");
+                d
+            }
+        }
+    }
+}
+
+/// Absolute tolerance for matmul validation: chunked team execution may
+/// reassociate the `k`-dimension sum, so exact equality is not guaranteed.
+fn matmul_tolerance(a: &Matrix) -> f64 {
+    1e-9 * a.cols() as f64
+}
+
+fn assert_grids_close(out: &[f64], expected: &[f64], what: &str) {
+    assert_eq!(out.len(), expected.len(), "{what}: length mismatch");
+    for (i, (&x, &y)) in out.iter().zip(expected).enumerate() {
+        assert!(
+            (x - y).abs() <= 1e-9 * x.abs().max(y.abs()).max(1.0),
+            "{what}: cell {i} diverged ({x} vs {y})"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct_and_lowercase() {
+        let mut labels: Vec<&str> = Kernel::ALL.iter().map(|k| k.label()).collect();
+        assert!(labels.iter().all(|l| *l == l.to_lowercase()));
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), Kernel::ALL.len());
+    }
+
+    #[test]
+    fn every_kernel_prepares_runs_and_validates() {
+        let scheduler = Scheduler::with_threads(2);
+        for kernel in Kernel::ALL {
+            let workload = Workload::prepare(kernel, 30_000, 11);
+            assert_eq!(workload.kernel(), kernel);
+            let seq = workload.run_sequential();
+            let mixed = workload.run_mixed(&scheduler);
+            assert!(seq > Duration::ZERO, "{}", kernel.label());
+            assert!(mixed > Duration::ZERO, "{}", kernel.label());
+        }
+    }
+
+    #[test]
+    fn preparation_is_deterministic_in_the_seed() {
+        let a = Workload::prepare(Kernel::Reduce, 10_000, 5);
+        let b = Workload::prepare(Kernel::Reduce, 10_000, 5);
+        let (
+            Payload::ReduceInts { expected_sum: sa, .. },
+            Payload::ReduceInts { expected_sum: sb, .. },
+        ) = (&a.payload, &b.payload)
+        else {
+            panic!("reduce payload is ReduceInts");
+        };
+        assert_eq!(sa, sb);
+        let c = Workload::prepare(Kernel::Reduce, 10_000, 6);
+        let Payload::ReduceInts { expected_sum: sc, .. } = &c.payload else {
+            panic!("reduce payload is ReduceInts");
+        };
+        assert_ne!(sa, sc, "different seeds must give different inputs");
+    }
+
+    #[test]
+    fn mixed_runs_build_teams_at_bench_sizes() {
+        // The thresholds must let teams form for the sizes the perf harness
+        // uses, otherwise the recorded scheduler metrics are vacuous.
+        let scheduler = Scheduler::with_threads(2);
+        let workload = Workload::prepare(Kernel::Reduce, 64 * 1024, 3);
+        let before = scheduler.metrics();
+        workload.run_mixed(&scheduler);
+        let delta = scheduler.metrics().delta_since(&before);
+        assert!(
+            delta.teams_formed > 0,
+            "a 64k-element reduce on 2 threads should run as a team task"
+        );
+    }
+}

@@ -19,6 +19,10 @@
 //! | [`spmv`] | sparse matrix–vector multiplication and power iteration | one team task with nnz-balanced row ownership; the power iteration reuses the team every step |
 //! | [`histogram`] | histogramming / bucket counting | members build private histograms of disjoint input chunks and merge ranges of buckets after a barrier |
 //!
+//! The [`harness`] module wraps the kernels behind uniform prepare /
+//! timed-run signatures for the perf-trajectory harness (`teamsteal-bench`,
+//! `perf` bin).
+//!
 //! All kernels take an explicit [`Scheduler`](teamsteal_core::Scheduler)
 //! reference, never create their own thread pools, and choose their team
 //! sizes with the same "largest power of two that keeps enough work per
@@ -41,6 +45,7 @@
 
 pub mod bfs;
 pub mod foreach;
+pub mod harness;
 pub mod histogram;
 pub mod matmul;
 pub mod merge;
@@ -53,6 +58,7 @@ pub mod team_size;
 
 pub use bfs::{bfs_mixed, bfs_sequential, CsrGraph};
 pub use foreach::{team_fill_with, team_for_each, team_map};
+pub use harness::{Kernel, Workload};
 pub use histogram::{histogram_mixed, histogram_sequential};
 pub use matmul::{matmul_mixed, matmul_sequential, Matrix};
 pub use merge::{merge_sort_mixed, team_merge};

@@ -9,7 +9,7 @@
 //! fork-join formulation.
 //!
 //! The team size follows the paper's `getBestNp` policy
-//! ([`best_team_size`](crate::best_team_size)): the largest power of two that
+//! ([`best_team_size`]): the largest power of two that
 //! still leaves every member a meaningful amount of work, and plain
 //! sequential execution below that threshold.
 

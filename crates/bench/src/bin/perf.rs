@@ -1,0 +1,496 @@
+//! Perf-trajectory harness: sweeps the paper's sort variants and the
+//! application kernels and persists machine-readable reports
+//! (`BENCH_sort.json`, `BENCH_kernels.json`) so every PR can be compared
+//! against a recorded baseline.
+//!
+//! ```text
+//! cargo run --release -p teamsteal-bench --bin perf -- [options]
+//!
+//!   --smoke            tiny sizes and minimal repetitions (CI guard)
+//!   --size N           sort / kernel work budget in elements (default 1<<19)
+//!   --threads LIST     comma-separated thread counts (default 1,2,4)
+//!   --reps N           timed repetitions per scenario (default 5)
+//!   --warmups N        untimed warmup runs per scenario (default 1)
+//!   --seed N           input seed (default 42)
+//!   --out-dir PATH     where the BENCH_*.json files are written (default .)
+//!   --check FILE       compare the fresh sort report's MMPar records
+//!                      against the baseline report FILE; exit 1 on any
+//!                      median regression beyond the tolerance
+//!   --tolerance PCT    regression tolerance in percent (default 25)
+//! ```
+//!
+//! The JSON schema and the regeneration workflow are documented in
+//! `EXPERIMENTS.md`; the measurement methodology (warmups, why the median is
+//! the headline aggregate) in `DESIGN.md` §7.  Unlike the `tables` /
+//! `scaling` bins this harness needs no optional features: it only measures
+//! scenarios that run on the `teamsteal` scheduler itself, so its numbers
+//! are meaningful even in the offline stub build.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::time::SystemTime;
+
+use teamsteal_apps::harness::{Kernel, Workload};
+use teamsteal_bench::report::{
+    check_regressions, Environment, JsonValue, Report, RunRecord, TimingSummary, SCHEMA_VERSION,
+};
+use teamsteal_bench::{Variant, VariantRunner};
+use teamsteal_core::{MetricsSnapshot, Scheduler};
+use teamsteal_data::Distribution;
+use teamsteal_sort::SortConfig;
+use teamsteal_util::timing::RunStats;
+
+/// The sort variants the trajectory tracks.  `SeqStd` is the speedup
+/// denominator; the rayon baselines are excluded because in the offline stub
+/// build their numbers are not comparable (see EXPERIMENTS.md).
+const SORT_SEQUENTIAL: [Variant; 2] = [Variant::SeqStd, Variant::SeqQs];
+const SORT_PARALLEL: [Variant; 3] = [Variant::Fork, Variant::RandFork, Variant::MmPar];
+
+struct Options {
+    smoke: bool,
+    size: usize,
+    threads: Vec<usize>,
+    reps: usize,
+    warmups: usize,
+    seed: u64,
+    out_dir: PathBuf,
+    check: Option<PathBuf>,
+    tolerance_pct: f64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            smoke: false,
+            size: 1 << 19,
+            threads: vec![1, 2, 4],
+            reps: 5,
+            warmups: 1,
+            seed: 42,
+            out_dir: PathBuf::from("."),
+            check: None,
+            tolerance_pct: 25.0,
+        }
+    }
+}
+
+const HELP: &str = "Perf-trajectory harness (writes BENCH_sort.json / BENCH_kernels.json).
+  --smoke            tiny sizes and minimal repetitions (CI guard)
+  --size N           sort / kernel work budget in elements (default 524288)
+  --threads LIST     comma-separated thread counts (default 1,2,4)
+  --reps N           timed repetitions per scenario (default 5)
+  --warmups N        untimed warmup runs per scenario (default 1)
+  --seed N           input seed (default 42)
+  --out-dir PATH     output directory (default .)
+  --check FILE       fail (exit 1) on MMPar median regression vs baseline FILE
+  --tolerance PCT    regression tolerance in percent (default 25)";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options::default();
+    let all: Vec<String> = std::env::args().skip(1).collect();
+    // Apply the smoke defaults first so explicit flags always win,
+    // regardless of where --smoke appears on the command line.
+    if all.iter().any(|a| a == "--smoke") {
+        opts.smoke = true;
+        opts.size = 20_000;
+        opts.threads = vec![2];
+        opts.reps = 2;
+        opts.warmups = 1;
+    }
+    let mut args = all.into_iter();
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| args.next().ok_or(format!("{arg} needs {what}"));
+        match arg.as_str() {
+            "--smoke" => {}
+            "--size" => {
+                opts.size = value("a number")?
+                    .parse()
+                    .map_err(|e| format!("bad size: {e}"))?
+            }
+            "--threads" => {
+                let list = value("a list")?;
+                opts.threads = list
+                    .split(',')
+                    .map(|t| t.trim().parse().map_err(|e| format!("bad thread count: {e}")))
+                    .collect::<Result<Vec<usize>, String>>()?;
+                if opts.threads.is_empty() || opts.threads.contains(&0) {
+                    return Err("--threads needs a non-empty list of positive counts".into());
+                }
+            }
+            "--reps" => {
+                opts.reps = value("a number")?
+                    .parse()
+                    .map_err(|e| format!("bad repetition count: {e}"))?
+            }
+            "--warmups" => {
+                opts.warmups = value("a number")?
+                    .parse()
+                    .map_err(|e| format!("bad warmup count: {e}"))?
+            }
+            "--seed" => {
+                opts.seed = value("a number")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?
+            }
+            "--out-dir" => opts.out_dir = PathBuf::from(value("a path")?),
+            "--check" => opts.check = Some(PathBuf::from(value("a path")?)),
+            "--tolerance" => {
+                opts.tolerance_pct = value("a percentage")?
+                    .parse()
+                    .map_err(|e| format!("bad tolerance: {e}"))?;
+                if opts.tolerance_pct < 0.0 {
+                    return Err("--tolerance must be non-negative".into());
+                }
+            }
+            "--help" | "-h" => {
+                println!("{HELP}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+    }
+    opts.reps = opts.reps.max(1);
+    Ok(opts)
+}
+
+fn params_json(opts: &Options, group: &str) -> JsonValue {
+    JsonValue::Object(vec![
+        ("group".into(), JsonValue::String(group.into())),
+        ("smoke".into(), JsonValue::Bool(opts.smoke)),
+        ("size".into(), JsonValue::Number(opts.size as f64)),
+        (
+            "threads".into(),
+            JsonValue::Array(
+                opts.threads
+                    .iter()
+                    .map(|&t| JsonValue::Number(t as f64))
+                    .collect(),
+            ),
+        ),
+        ("reps".into(), JsonValue::Number(opts.reps as f64)),
+        ("warmups".into(), JsonValue::Number(opts.warmups as f64)),
+        ("seed".into(), JsonValue::Number(opts.seed as f64)),
+    ])
+}
+
+fn new_report(opts: &Options, group: &str, records: Vec<RunRecord>) -> Report {
+    Report {
+        schema_version: SCHEMA_VERSION,
+        harness: "perf".into(),
+        group: group.into(),
+        created_unix_s: SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        environment: Environment::detect(),
+        params: params_json(opts, group),
+        records,
+    }
+}
+
+/// Runs `warmups` untimed and `reps` timed repetitions of one sort scenario
+/// and folds them into a record.
+fn sort_cell(
+    runner: &mut VariantRunner,
+    variant: Variant,
+    distribution: Distribution,
+    input: &[u32],
+    opts: &Options,
+    threads: usize,
+) -> (RunStats, MetricsSnapshot) {
+    for _ in 0..opts.warmups {
+        runner.measure(variant, input);
+    }
+    let mut stats = RunStats::new();
+    let mut metrics = MetricsSnapshot::default();
+    for _ in 0..opts.reps {
+        let m = runner.measure(variant, input);
+        stats.record(m.duration);
+        metrics = metrics.merge(m.metrics);
+    }
+    eprintln!(
+        "sort    | {:<9} | {:<8} | p = {:>2} | median {:>10.6}s",
+        distribution.label(),
+        variant.label(),
+        threads,
+        stats.median().as_secs_f64()
+    );
+    (stats, metrics)
+}
+
+fn sort_record(
+    variant: Variant,
+    distribution: Distribution,
+    opts: &Options,
+    threads: usize,
+    stats: &RunStats,
+    metrics: MetricsSnapshot,
+    seq_reference_s: Option<f64>,
+) -> RunRecord {
+    let secs = TimingSummary::from_stats(stats);
+    let speedup_vs_seq = seq_reference_s
+        .filter(|&s| secs.median_s > 0.0 && s > 0.0)
+        .map(|s| s / secs.median_s);
+    RunRecord {
+        group: "sort".into(),
+        name: variant.label().into(),
+        distribution: Some(distribution.label().into()),
+        size: opts.size,
+        threads,
+        warmups: opts.warmups,
+        repetitions: opts.reps,
+        secs,
+        metrics,
+        seq_reference_s,
+        speedup_vs_seq,
+    }
+}
+
+/// Sweeps SeqQS/Fork/Randfork/MMPar (plus the Seq/STL reference) over every
+/// input distribution and thread count.
+fn sweep_sorts(opts: &Options) -> Report {
+    let config = SortConfig::default();
+    let mut records = Vec::new();
+    // One input per distribution, shared by every variant and thread count.
+    let inputs: Vec<(Distribution, Vec<u32>)> = Distribution::ALL
+        .into_iter()
+        .map(|d| (d, d.generate(opts.size, 8, opts.seed)))
+        .collect();
+    // Median Seq/STL time per distribution: the speedup denominator.
+    let mut seq_medians: HashMap<&'static str, f64> = HashMap::new();
+
+    // Sequential variants, measured once per distribution.
+    let mut seq_runner = VariantRunner::new(1, config.clone());
+    for (distribution, input) in &inputs {
+        for variant in SORT_SEQUENTIAL {
+            let (stats, metrics) =
+                sort_cell(&mut seq_runner, variant, *distribution, input, opts, 1);
+            if variant == Variant::SeqStd {
+                seq_medians.insert(distribution.label(), stats.median().as_secs_f64());
+            }
+            records.push(sort_record(
+                variant,
+                *distribution,
+                opts,
+                1,
+                &stats,
+                metrics,
+                None,
+            ));
+        }
+    }
+
+    // Parallel variants at every thread count; one runner (and hence one
+    // scheduler set) per thread count, reused across distributions.
+    for &threads in &opts.threads {
+        let mut runner = VariantRunner::new(threads, config.clone());
+        for (distribution, input) in &inputs {
+            let seq_reference_s = seq_medians.get(distribution.label()).copied();
+            for variant in SORT_PARALLEL {
+                let (stats, metrics) =
+                    sort_cell(&mut runner, variant, *distribution, input, opts, threads);
+                records.push(sort_record(
+                    variant,
+                    *distribution,
+                    opts,
+                    threads,
+                    &stats,
+                    metrics,
+                    seq_reference_s,
+                ));
+            }
+        }
+    }
+    new_report(opts, "sort", records)
+}
+
+/// Sweeps every application kernel over the thread counts, with a sequential
+/// reference per kernel.
+fn sweep_kernels(opts: &Options) -> Report {
+    let mut records = Vec::new();
+    let workloads: Vec<Workload> = Kernel::ALL
+        .iter()
+        .map(|&k| Workload::prepare(k, opts.size, opts.seed))
+        .collect();
+
+    // Sequential references (median over the same repetition policy).
+    let mut seq_medians: HashMap<&'static str, f64> = HashMap::new();
+    for workload in &workloads {
+        for _ in 0..opts.warmups {
+            workload.run_sequential();
+        }
+        let mut stats = RunStats::new();
+        for _ in 0..opts.reps {
+            stats.record(workload.run_sequential());
+        }
+        eprintln!(
+            "kernel  | {:<9} | sequential | median {:>10.6}s",
+            workload.kernel().label(),
+            stats.median().as_secs_f64()
+        );
+        seq_medians.insert(workload.kernel().label(), stats.median().as_secs_f64());
+    }
+
+    for &threads in &opts.threads {
+        let scheduler = Scheduler::with_threads(threads);
+        for workload in &workloads {
+            for _ in 0..opts.warmups {
+                workload.run_mixed(&scheduler);
+            }
+            let mut stats = RunStats::new();
+            let mut metrics = MetricsSnapshot::default();
+            for _ in 0..opts.reps {
+                let before = scheduler.metrics();
+                stats.record(workload.run_mixed(&scheduler));
+                metrics = metrics.merge(scheduler.metrics().delta_since(&before));
+            }
+            let secs = TimingSummary::from_stats(&stats);
+            let seq_reference_s = seq_medians.get(workload.kernel().label()).copied();
+            let speedup_vs_seq = seq_reference_s
+                .filter(|&s| secs.median_s > 0.0 && s > 0.0)
+                .map(|s| s / secs.median_s);
+            eprintln!(
+                "kernel  | {:<9} | p = {:>2}     | median {:>10.6}s | SU {:>5.2}",
+                workload.kernel().label(),
+                threads,
+                secs.median_s,
+                speedup_vs_seq.unwrap_or(0.0)
+            );
+            records.push(RunRecord {
+                group: "kernel".into(),
+                name: workload.kernel().label().into(),
+                distribution: None,
+                size: workload.size(),
+                threads,
+                warmups: opts.warmups,
+                repetitions: opts.reps,
+                secs,
+                metrics,
+                seq_reference_s,
+                speedup_vs_seq,
+            });
+        }
+    }
+    new_report(opts, "kernel", records)
+}
+
+fn write_report(path: &Path, report: &Report) -> Result<(), String> {
+    std::fs::write(path, report.to_json_string())
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    println!(
+        "wrote {} ({} records)",
+        path.display(),
+        report.records.len()
+    );
+    Ok(())
+}
+
+fn run() -> Result<i32, String> {
+    let opts = parse_args()?;
+    std::fs::create_dir_all(&opts.out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", opts.out_dir.display()))?;
+
+    // Read and parse the baseline BEFORE any sweep writes its output: with
+    // the default --out-dir the baseline path and the fresh report path are
+    // the same file, and reading it afterwards would compare the fresh
+    // report against itself (a vacuously green gate).
+    let baseline = match &opts.check {
+        Some(baseline_path) => {
+            let text = std::fs::read_to_string(baseline_path)
+                .map_err(|e| format!("cannot read baseline {}: {e}", baseline_path.display()))?;
+            let report = Report::from_json_str(&text)
+                .map_err(|e| format!("baseline {} is invalid: {e}", baseline_path.display()))?;
+            if report.group != "sort" {
+                return Err(format!(
+                    "baseline {} is a `{}` report; --check compares sort reports (BENCH_sort.json)",
+                    baseline_path.display(),
+                    report.group
+                ));
+            }
+            if report.schema_version != SCHEMA_VERSION {
+                return Err(format!(
+                    "baseline {} has schema version {}, this harness writes {SCHEMA_VERSION}",
+                    baseline_path.display(),
+                    report.schema_version
+                ));
+            }
+            Some((baseline_path.clone(), report))
+        }
+        None => None,
+    };
+
+    eprintln!(
+        "perf harness — size {}, threads {:?}, {} reps after {} warmups, seed {}{}",
+        opts.size,
+        opts.threads,
+        opts.reps,
+        opts.warmups,
+        opts.seed,
+        if opts.smoke { " (smoke)" } else { "" }
+    );
+
+    let sort_path = opts.out_dir.join("BENCH_sort.json");
+    let sort_report = sweep_sorts(&opts);
+    write_report(&sort_path, &sort_report)?;
+
+    let kernel_report = sweep_kernels(&opts);
+    write_report(&opts.out_dir.join("BENCH_kernels.json"), &kernel_report)?;
+
+    if let Some((baseline_path, baseline)) = baseline {
+        let outcome =
+            check_regressions(&baseline, &sort_report, Variant::MmPar.label(), opts.tolerance_pct);
+        for missing in &outcome.missing_baseline {
+            eprintln!("check: no baseline record for {missing}");
+        }
+        if baseline_path
+            .canonicalize()
+            .ok()
+            .zip(sort_path.canonicalize().ok())
+            .is_some_and(|(b, s)| b == s)
+        {
+            eprintln!(
+                "note: {} was overwritten with the fresh report (comparison used the previous contents)",
+                baseline_path.display()
+            );
+        }
+        if outcome.compared == 0 {
+            // A gate that compared nothing protects nothing: parameter
+            // mismatches (size/threads/seed) must be loud, not green.
+            eprintln!(
+                "check: FAILED — no scenario of the current run matches the baseline {} \
+                 (size/threads must match the recorded parameters)",
+                baseline_path.display()
+            );
+            return Ok(1);
+        }
+        if outcome.passed() {
+            println!(
+                "check: OK — {} MMPar scenario(s) within +{:.1}% of {}",
+                outcome.compared,
+                opts.tolerance_pct,
+                baseline_path.display()
+            );
+        } else {
+            eprintln!(
+                "check: FAILED — {} regression(s) vs {}:",
+                outcome.regressions.len(),
+                baseline_path.display()
+            );
+            for regression in &outcome.regressions {
+                eprintln!("  {regression}");
+            }
+            return Ok(1);
+        }
+    }
+    Ok(0)
+}
+
+fn main() {
+    match run() {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

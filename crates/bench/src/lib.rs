@@ -21,10 +21,12 @@
 
 #[cfg(feature = "cilk-substitute")]
 pub mod cilk_substitute;
+pub mod report;
 pub mod runner;
 pub mod tables;
 
 #[cfg(feature = "cilk-substitute")]
 pub use cilk_substitute::{rayon_join_quicksort, rayon_par_sort};
+pub use report::{check_regressions, CheckOutcome, Environment, JsonValue, Report, RunRecord, TimingSummary};
 pub use runner::{Measurement, Variant, VariantRunner};
 pub use tables::{render_table, run_table, Aggregation, TableResult, TableSpec};

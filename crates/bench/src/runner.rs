@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use teamsteal_core::{Scheduler, StealPolicy};
+use teamsteal_core::{MetricsSnapshot, Scheduler, StealPolicy};
 use teamsteal_sort::{fork_join_sort, mixed_mode_sort, sequential_quicksort, std_sort, SortConfig};
 use teamsteal_util::timing::time;
 
@@ -59,6 +59,10 @@ pub struct Measurement {
     pub variant: Variant,
     /// Wall-clock duration of the sort (input generation excluded).
     pub duration: Duration,
+    /// Scheduler-counter delta attributable to this run (steals, teams
+    /// built, registrations, …).  Zero for variants that do not execute on a
+    /// `teamsteal` scheduler (Seq/STL, SeqQS and the rayon baselines).
+    pub metrics: MetricsSnapshot,
 }
 
 /// Holds the lazily created execution engines (schedulers, rayon pools) so
@@ -135,49 +139,69 @@ impl VariantRunner {
         self.rayon.get_or_insert_with(|| rayon_pool(threads))
     }
 
-    /// Sorts a copy of `input` with `variant` and returns the measurement.
-    /// The sorted output is validated (cheap sortedness check) so a broken
-    /// variant can never silently report a good time.
+    /// Sorts a copy of `input` with `variant` and returns the measurement,
+    /// including the scheduler-counter delta the run caused.  The sorted
+    /// output is validated (cheap sortedness check) so a broken variant can
+    /// never silently report a good time.
     pub fn measure(&mut self, variant: Variant, input: &[u32]) -> Measurement {
         let mut data = input.to_vec();
         let config = self.config.clone();
-        let (duration, ()) = match variant {
-            Variant::SeqStd => time(|| std_sort(&mut data)),
-            Variant::SeqQs => time(|| sequential_quicksort(&mut data, &config)),
-            Variant::Fork => {
-                let scheduler = self.det_scheduler();
-                time(|| fork_join_sort(scheduler, &mut data, &config))
-            }
-            Variant::RandFork => {
-                let scheduler = self.rand_scheduler();
-                time(|| fork_join_sort(scheduler, &mut data, &config))
-            }
+        // Times `f` on `scheduler` and attributes the counter delta to it.
+        fn timed_on(
+            scheduler: &Scheduler,
+            f: impl FnOnce(&Scheduler),
+        ) -> (Duration, MetricsSnapshot) {
+            let before = scheduler.metrics();
+            let (duration, ()) = time(|| f(scheduler));
+            (duration, scheduler.metrics().delta_since(&before))
+        }
+        let (duration, metrics) = match variant {
+            Variant::SeqStd => (time(|| std_sort(&mut data)).0, MetricsSnapshot::default()),
+            Variant::SeqQs => (
+                time(|| sequential_quicksort(&mut data, &config)).0,
+                MetricsSnapshot::default(),
+            ),
+            Variant::Fork => timed_on(self.det_scheduler(), |s| {
+                fork_join_sort(s, &mut data, &config)
+            }),
+            Variant::RandFork => timed_on(self.rand_scheduler(), |s| {
+                fork_join_sort(s, &mut data, &config)
+            }),
             #[cfg(feature = "cilk-substitute")]
             Variant::RayonJoin => {
                 let pool = self.rayon_pool();
-                time(|| rayon_join_quicksort(pool, &mut data, &config))
+                (
+                    time(|| rayon_join_quicksort(pool, &mut data, &config)).0,
+                    MetricsSnapshot::default(),
+                )
             }
             #[cfg(feature = "cilk-substitute")]
             Variant::RayonSort => {
                 let pool = self.rayon_pool();
-                time(|| rayon_par_sort(pool, &mut data))
+                (
+                    time(|| rayon_par_sort(pool, &mut data)).0,
+                    MetricsSnapshot::default(),
+                )
             }
             #[cfg(not(feature = "cilk-substitute"))]
             Variant::RayonJoin | Variant::RayonSort => panic!(
                 "{} requires the `cilk-substitute` feature of teamsteal-bench",
                 variant.label()
             ),
-            Variant::MmPar => {
-                let scheduler = self.team_scheduler();
-                time(|| mixed_mode_sort(scheduler, &mut data, &config))
-            }
+            Variant::MmPar => timed_on(self.team_scheduler(), |s| {
+                mixed_mode_sort(s, &mut data, &config)
+            }),
         };
         assert!(
             teamsteal_data::is_sorted(&data),
             "{} produced an unsorted result",
             variant.label()
         );
-        Measurement { variant, duration }
+        Measurement {
+            variant,
+            duration,
+            metrics,
+        }
     }
 }
 
@@ -229,5 +253,40 @@ mod tests {
             assert!(m.duration > Duration::ZERO);
             assert_eq!(m.variant, variant);
         }
+    }
+
+    #[test]
+    fn scheduler_variants_report_metrics_and_sequential_ones_do_not() {
+        let input = Distribution::Random.generate(60_000, 4, 7);
+        let config = SortConfig {
+            cutoff: 256,
+            block_size: 512,
+            min_blocks_per_thread: 2,
+        };
+        let mut runner = VariantRunner::new(2, config);
+        let seq = runner.measure(Variant::SeqQs, &input);
+        assert_eq!(seq.metrics, teamsteal_core::MetricsSnapshot::default());
+        let fork = runner.measure(Variant::Fork, &input);
+        assert!(
+            fork.metrics.tasks_executed > 0,
+            "fork-join sort must execute r = 1 tasks"
+        );
+        let mm = runner.measure(Variant::MmPar, &input);
+        assert!(
+            mm.metrics.teams_formed > 0,
+            "mixed-mode sort at this size must build at least one team"
+        );
+        // A second measurement reuses the scheduler but the delta is still
+        // attributed per run, not cumulatively.  Cumulative attribution
+        // would make the second run report ~2x the first run's executions
+        // (same input, same work), so a 1.5x bound detects it while leaving
+        // headroom for scheduling variance in the per-run counts.
+        let mm2 = runner.measure(Variant::MmPar, &input);
+        assert!(
+            mm2.metrics.total_executions() * 2 < mm.metrics.total_executions() * 3,
+            "second run reported {} executions vs {} on the first — delta looks cumulative",
+            mm2.metrics.total_executions(),
+            mm.metrics.total_executions()
+        );
     }
 }

@@ -1,0 +1,228 @@
+//! Integration tests for the `perf` bin: the harness itself must never rot.
+//!
+//! The bin is run at `--smoke` scale (tiny inputs, 2 repetitions) through
+//! the path CI uses, and its output files are parsed back through the
+//! report layer.  A doctored baseline with absurdly fast times verifies the
+//! `--check` regression gate actually fails.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use teamsteal_bench::report::Report;
+
+/// A fresh scratch directory under the target dir (no tempfile crate in the
+/// offline build); unique per test to keep them independent.
+fn scratch_dir(test: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("perf-{test}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn run_perf(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_perf"))
+        .args(args)
+        .output()
+        .expect("perf bin runs")
+}
+
+#[test]
+fn smoke_run_writes_complete_parseable_reports() {
+    let dir = scratch_dir("smoke");
+    let out = run_perf(&["--smoke", "--out-dir", dir.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "perf --smoke failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let sort_text = std::fs::read_to_string(dir.join("BENCH_sort.json")).expect("sort report");
+    let sort = Report::from_json_str(&sort_text).expect("sort report parses");
+    assert_eq!(sort.group, "sort");
+    // Every requested scenario must be present: 4 distributions for each of
+    // the 4 tracked variants (plus the Seq/STL reference).
+    for name in ["Seq/STL", "SeqQS", "Fork", "Randfork", "MMPar"] {
+        for dist in ["Random", "Gauss", "Buckets", "Staggered"] {
+            assert!(
+                sort.records
+                    .iter()
+                    .any(|r| r.name == name && r.distribution.as_deref() == Some(dist)),
+                "missing sort record {name}/{dist}"
+            );
+        }
+    }
+    for record in &sort.records {
+        assert_eq!(record.secs.samples_s.len(), record.repetitions);
+        assert!(record.secs.median_s > 0.0, "{} has zero median", record.name);
+        // Parallel variants carry a speedup against the Seq/STL reference.
+        if record.name == "MMPar" {
+            assert!(record.speedup_vs_seq.is_some());
+        }
+    }
+    // The scheduler-backed variants must carry scheduler metrics; the
+    // sequential ones must not.
+    let spawned: u64 = sort
+        .records
+        .iter()
+        .filter(|r| matches!(r.name.as_str(), "Fork" | "Randfork" | "MMPar"))
+        .map(|r| r.metrics.tasks_spawned)
+        .sum();
+    assert!(spawned > 0, "parallel sort records carry no metrics");
+    for record in sort.records.iter().filter(|r| r.name == "Seq/STL") {
+        assert_eq!(record.metrics.total_executions(), 0);
+    }
+
+    let kernel_text =
+        std::fs::read_to_string(dir.join("BENCH_kernels.json")).expect("kernel report");
+    let kernels = Report::from_json_str(&kernel_text).expect("kernel report parses");
+    assert_eq!(kernels.group, "kernel");
+    for name in ["reduce", "scan", "matmul", "stencil", "bfs", "histogram"] {
+        let record = kernels
+            .records
+            .iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("missing kernel record {name}"));
+        assert!(record.secs.median_s > 0.0);
+        assert!(record.seq_reference_s.is_some());
+        assert!(record.speedup_vs_seq.is_some());
+    }
+}
+
+#[test]
+fn check_mode_fails_on_injected_regression_and_passes_on_honest_baseline() {
+    let dir = scratch_dir("check");
+    let out = run_perf(&["--smoke", "--out-dir", dir.to_str().unwrap(), "--seed", "7"]);
+    assert!(out.status.success());
+
+    let honest = dir.join("BENCH_sort.json");
+    let text = std::fs::read_to_string(&honest).unwrap();
+    let mut baseline = Report::from_json_str(&text).unwrap();
+
+    // Honest baseline with a generous tolerance: same machine, same seed —
+    // must pass.
+    let pass_dir = scratch_dir("check-pass");
+    let out = run_perf(&[
+        "--smoke",
+        "--seed",
+        "7",
+        "--out-dir",
+        pass_dir.to_str().unwrap(),
+        "--check",
+        honest.to_str().unwrap(),
+        "--tolerance",
+        "100000",
+    ]);
+    assert!(
+        out.status.success(),
+        "honest baseline flagged as regression: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Inject a regression: pretend the baseline was 1000x faster.
+    for record in &mut baseline.records {
+        record.secs.median_s /= 1000.0;
+    }
+    let doctored = dir.join("baseline_doctored.json");
+    std::fs::write(&doctored, baseline.to_json_string()).unwrap();
+    let fail_dir = scratch_dir("check-fail");
+    let out = run_perf(&[
+        "--smoke",
+        "--seed",
+        "7",
+        "--out-dir",
+        fail_dir.to_str().unwrap(),
+        "--check",
+        doctored.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "doctored baseline must fail the check: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("check: FAILED"));
+    assert!(stderr.contains("MMPar"));
+}
+
+#[test]
+fn in_place_check_compares_against_the_previous_contents() {
+    // Regression test: with --out-dir equal to the baseline's directory the
+    // fresh report overwrites the baseline file; the gate must still compare
+    // against the baseline as it was BEFORE the run, not against itself.
+    let dir = scratch_dir("check-in-place");
+    let out = run_perf(&["--smoke", "--seed", "3", "--out-dir", dir.to_str().unwrap()]);
+    assert!(out.status.success());
+    let baseline_path = dir.join("BENCH_sort.json");
+    let mut baseline =
+        Report::from_json_str(&std::fs::read_to_string(&baseline_path).unwrap()).unwrap();
+    for record in &mut baseline.records {
+        record.secs.median_s /= 1000.0;
+    }
+    std::fs::write(&baseline_path, baseline.to_json_string()).unwrap();
+    let out = run_perf(&[
+        "--smoke",
+        "--seed",
+        "3",
+        "--out-dir",
+        dir.to_str().unwrap(),
+        "--check",
+        baseline_path.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "in-place check must not compare the fresh report against itself: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn check_fails_when_no_scenario_matches_the_baseline() {
+    // A baseline recorded at a different size matches nothing; a gate that
+    // compared zero scenarios must fail loudly instead of passing.
+    let dir = scratch_dir("check-mismatch");
+    let out = run_perf(&["--smoke", "--out-dir", dir.to_str().unwrap()]);
+    assert!(out.status.success());
+    let baseline = dir.join("BENCH_sort.json");
+    let other_dir = scratch_dir("check-mismatch-run");
+    let out = run_perf(&[
+        "--smoke",
+        "--size",
+        "30000", // differs from the baseline's 20000
+        "--out-dir",
+        other_dir.to_str().unwrap(),
+        "--check",
+        baseline.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no scenario"));
+}
+
+#[test]
+fn explicit_flags_win_over_smoke_defaults_regardless_of_order() {
+    let dir = scratch_dir("smoke-order");
+    let out = run_perf(&[
+        "--threads",
+        "1",
+        "--smoke",
+        "--out-dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let sort =
+        Report::from_json_str(&std::fs::read_to_string(dir.join("BENCH_sort.json")).unwrap())
+            .unwrap();
+    assert!(
+        sort.records.iter().all(|r| r.threads == 1),
+        "--threads 1 before --smoke must not be overridden by the smoke defaults"
+    );
+}
+
+#[test]
+fn bad_arguments_exit_with_usage_error() {
+    let out = run_perf(&["--no-such-flag"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run_perf(&["--threads", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -146,6 +146,16 @@ pub struct MetricsSnapshot {
 
 impl MetricsSnapshot {
     /// Element-wise sum of two snapshots.
+    ///
+    /// ```
+    /// use teamsteal_core::MetricsSnapshot;
+    ///
+    /// let a = MetricsSnapshot { steals: 2, ..Default::default() };
+    /// let b = MetricsSnapshot { steals: 3, teams_formed: 1, ..Default::default() };
+    /// let sum = a.merge(b);
+    /// assert_eq!(sum.steals, 5);
+    /// assert_eq!(sum.teams_formed, 1);
+    /// ```
     pub fn merge(self, other: MetricsSnapshot) -> MetricsSnapshot {
         MetricsSnapshot {
             tasks_executed: self.tasks_executed + other.tasks_executed,
@@ -161,7 +171,51 @@ impl MetricsSnapshot {
         }
     }
 
+    /// Element-wise difference `self - earlier`, saturating at zero.
+    ///
+    /// Scheduler counters are cumulative over the scheduler's lifetime; to
+    /// attribute events to one measured region, snapshot before and after and
+    /// diff.  Saturation (rather than panicking) keeps the result sane if the
+    /// two snapshots are accidentally swapped.
+    ///
+    /// ```
+    /// use teamsteal_core::Scheduler;
+    ///
+    /// let scheduler = Scheduler::with_threads(2);
+    /// let before = scheduler.metrics();
+    /// scheduler.run_team(2, |ctx| {
+    ///     ctx.barrier();
+    /// });
+    /// let delta = scheduler.metrics().delta_since(&before);
+    /// assert_eq!(delta.teams_formed, 1);
+    /// ```
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            tasks_executed: self.tasks_executed.saturating_sub(earlier.tasks_executed),
+            team_tasks_executed: self
+                .team_tasks_executed
+                .saturating_sub(earlier.team_tasks_executed),
+            teams_formed: self.teams_formed.saturating_sub(earlier.teams_formed),
+            registrations: self.registrations.saturating_sub(earlier.registrations),
+            steals: self.steals.saturating_sub(earlier.steals),
+            tasks_stolen: self.tasks_stolen.saturating_sub(earlier.tasks_stolen),
+            failed_steal_rounds: self
+                .failed_steal_rounds
+                .saturating_sub(earlier.failed_steal_rounds),
+            help_steals: self.help_steals.saturating_sub(earlier.help_steals),
+            tasks_spawned: self.tasks_spawned.saturating_sub(earlier.tasks_spawned),
+            cas_failures: self.cas_failures.saturating_sub(earlier.cas_failures),
+        }
+    }
+
     /// Total number of task executions (sequential + team participations).
+    ///
+    /// ```
+    /// use teamsteal_core::MetricsSnapshot;
+    ///
+    /// let s = MetricsSnapshot { tasks_executed: 3, team_tasks_executed: 4, ..Default::default() };
+    /// assert_eq!(s.total_executions(), 7);
+    /// ```
     pub fn total_executions(&self) -> u64 {
         self.tasks_executed + self.team_tasks_executed
     }
@@ -215,6 +269,29 @@ mod tests {
                 cas_failures: 1,
             }
         );
+    }
+
+    #[test]
+    fn delta_since_subtracts_and_saturates() {
+        let earlier = MetricsSnapshot {
+            tasks_executed: 5,
+            steals: 2,
+            ..Default::default()
+        };
+        let later = MetricsSnapshot {
+            tasks_executed: 9,
+            steals: 2,
+            registrations: 4,
+            ..Default::default()
+        };
+        let d = later.delta_since(&earlier);
+        assert_eq!(d.tasks_executed, 4);
+        assert_eq!(d.steals, 0);
+        assert_eq!(d.registrations, 4);
+        // Swapped operands saturate instead of underflowing.
+        let swapped = earlier.delta_since(&later);
+        assert_eq!(swapped.tasks_executed, 0);
+        assert_eq!(swapped.registrations, 0);
     }
 
     #[test]

@@ -31,6 +31,13 @@ pub struct SchedulerBuilder {
 
 impl SchedulerBuilder {
     /// Sets the number of worker threads (the paper's `p`).
+    ///
+    /// ```
+    /// use teamsteal_core::Scheduler;
+    ///
+    /// let scheduler = Scheduler::builder().threads(3).build();
+    /// assert_eq!(scheduler.num_threads(), 3);
+    /// ```
     pub fn threads(mut self, threads: usize) -> Self {
         self.config.num_threads = threads;
         self
@@ -38,30 +45,84 @@ impl SchedulerBuilder {
 
     /// Sets an explicit machine topology (Refinement 3).  Its size must match
     /// the configured thread count.
+    ///
+    /// ```
+    /// use teamsteal_core::{Scheduler, Topology};
+    ///
+    /// let scheduler = Scheduler::builder()
+    ///     .threads(4)
+    ///     .topology(Topology::power_of_two(4))
+    ///     .build();
+    /// assert_eq!(scheduler.topology().num_threads(), 4);
+    /// ```
     pub fn topology(mut self, topology: Topology) -> Self {
         self.config.topology = Some(topology);
         self
     }
 
     /// Sets the partner / victim selection policy.
+    ///
+    /// [`StealPolicy::Deterministic`] is the paper's team-building scheduler;
+    /// [`StealPolicy::UniformRandom`] is the classic randomized work-stealer
+    /// (the *Randfork* baseline) and supports only `r = 1` tasks.
+    ///
+    /// ```
+    /// use teamsteal_core::{Scheduler, StealPolicy};
+    ///
+    /// let scheduler = Scheduler::builder()
+    ///     .threads(2)
+    ///     .steal_policy(StealPolicy::UniformRandom)
+    ///     .build();
+    /// scheduler.run(|_| {});
+    /// ```
     pub fn steal_policy(mut self, policy: StealPolicy) -> Self {
         self.config.steal_policy = policy;
         self
     }
 
     /// Sets how many tasks a successful steal transfers.
+    ///
+    /// ```
+    /// use teamsteal_core::{Scheduler, StealAmount};
+    ///
+    /// let scheduler = Scheduler::builder()
+    ///     .threads(2)
+    ///     .steal_amount(StealAmount::HalfOfVictim)
+    ///     .build();
+    /// scheduler.run(|_| {});
+    /// ```
     pub fn steal_amount(mut self, amount: StealAmount) -> Self {
         self.config.steal_amount = amount;
         self
     }
 
     /// Sets the PRNG seed used for randomized stealing.
+    ///
+    /// ```
+    /// use teamsteal_core::{Scheduler, StealPolicy};
+    ///
+    /// let scheduler = Scheduler::builder()
+    ///     .threads(2)
+    ///     .steal_policy(StealPolicy::UniformRandom)
+    ///     .seed(0xfeed)
+    ///     .build();
+    /// scheduler.run(|_| {});
+    /// ```
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
         self
     }
 
     /// Overrides the full configuration.
+    ///
+    /// ```
+    /// use teamsteal_core::{Scheduler, SchedulerConfig};
+    ///
+    /// let scheduler = Scheduler::builder()
+    ///     .config(SchedulerConfig::with_threads(2))
+    ///     .build();
+    /// assert_eq!(scheduler.num_threads(), 2);
+    /// ```
     pub fn config(mut self, config: SchedulerConfig) -> Self {
         self.config = config;
         self
@@ -184,6 +245,24 @@ impl Scheduler {
     }
 
     /// Aggregated metrics over all workers.
+    ///
+    /// Counters are cumulative over the scheduler's lifetime; diff two
+    /// snapshots with [`MetricsSnapshot::delta_since`] to attribute events to
+    /// one region of interest.
+    ///
+    /// ```
+    /// use teamsteal_core::Scheduler;
+    ///
+    /// let scheduler = Scheduler::with_threads(4);
+    /// let before = scheduler.metrics();
+    /// scheduler.run_team(4, |ctx| {
+    ///     ctx.barrier();
+    /// });
+    /// let delta = scheduler.metrics().delta_since(&before);
+    /// assert_eq!(delta.teams_formed, 1);        // one team, built once
+    /// assert!(delta.registrations >= 3);        // one CAS per non-coordinator
+    /// assert_eq!(delta.team_tasks_executed, 4); // counted per participant
+    /// ```
     pub fn metrics(&self) -> MetricsSnapshot {
         self.worker_metrics()
             .into_iter()

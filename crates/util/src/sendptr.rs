@@ -62,7 +62,7 @@ impl<T> SendMutPtr<T> {
     ///
     /// # Safety
     ///
-    /// Same requirements as [`pointer::add`]: the offset must stay within the
+    /// Same requirements as `pointer::add`: the offset must stay within the
     /// same allocation.
     #[inline]
     pub unsafe fn add(self, count: usize) -> Self {
@@ -136,7 +136,7 @@ impl<T> SendConstPtr<T> {
     ///
     /// # Safety
     ///
-    /// Same requirements as [`pointer::add`]: the offset must stay within the
+    /// Same requirements as `pointer::add`: the offset must stay within the
     /// same allocation.
     #[inline]
     pub unsafe fn add(self, count: usize) -> Self {

@@ -68,6 +68,64 @@ impl RunStats {
         self.samples.iter().max().copied().unwrap_or(Duration::ZERO)
     }
 
+    /// Median of the samples (the perf harness's headline aggregate: robust
+    /// against the occasional scheduling hiccup that skews the mean).
+    ///
+    /// For an even sample count the midpoint of the two central samples is
+    /// returned.  Returns [`Duration::ZERO`] when empty.
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use teamsteal_util::timing::RunStats;
+    ///
+    /// let mut s = RunStats::new();
+    /// for ms in [30, 10, 20, 1000] {
+    ///     s.record(Duration::from_millis(ms));
+    /// }
+    /// assert_eq!(s.median(), Duration::from_millis(25)); // outlier ignored
+    /// ```
+    pub fn median(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+        }
+    }
+
+    /// Nearest-rank percentile of the samples, `p` in `0.0..=100.0`.
+    ///
+    /// `percentile(0.0)` is the best sample, `percentile(100.0)` the worst.
+    /// Returns [`Duration::ZERO`] when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0.0..=100.0`.
+    pub fn percentile(&self, p: f64) -> Duration {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        // Nearest-rank: the smallest sample with at least p% of the mass at
+        // or below it.
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        sorted[rank.clamp(1, n) - 1]
+    }
+
+    /// The 95th percentile (nearest-rank), the tail-latency aggregate the
+    /// perf harness records next to best/average/median.
+    pub fn p95(&self) -> Duration {
+        self.percentile(95.0)
+    }
+
     /// Sample standard deviation in seconds (0 for fewer than two samples).
     pub fn stddev_secs(&self) -> f64 {
         let n = self.samples.len();
@@ -133,7 +191,45 @@ mod tests {
         assert!(s.is_empty());
         assert_eq!(s.average(), Duration::ZERO);
         assert_eq!(s.best(), Duration::ZERO);
+        assert_eq!(s.median(), Duration::ZERO);
+        assert_eq!(s.p95(), Duration::ZERO);
         assert_eq!(s.stddev_secs(), 0.0);
+    }
+
+    #[test]
+    fn median_is_order_independent_and_handles_even_counts() {
+        let mut s = RunStats::new();
+        s.record(Duration::from_millis(40));
+        s.record(Duration::from_millis(10));
+        s.record(Duration::from_millis(30));
+        assert_eq!(s.median(), Duration::from_millis(30));
+        s.record(Duration::from_millis(20));
+        assert_eq!(s.median(), Duration::from_millis(25));
+    }
+
+    #[test]
+    fn percentiles_follow_nearest_rank() {
+        let mut s = RunStats::new();
+        for ms in 1..=100u64 {
+            s.record(Duration::from_millis(ms));
+        }
+        assert_eq!(s.percentile(0.0), Duration::from_millis(1));
+        assert_eq!(s.percentile(50.0), Duration::from_millis(50));
+        assert_eq!(s.p95(), Duration::from_millis(95));
+        assert_eq!(s.percentile(100.0), Duration::from_millis(100));
+        // A single sample is every percentile.
+        let mut one = RunStats::new();
+        one.record(Duration::from_millis(7));
+        assert_eq!(one.percentile(1.0), Duration::from_millis(7));
+        assert_eq!(one.p95(), Duration::from_millis(7));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_percentile_panics() {
+        let mut s = RunStats::new();
+        s.record(Duration::from_millis(1));
+        s.percentile(101.0);
     }
 
     #[test]

@@ -24,6 +24,28 @@
 //! teamsteal::mixed_mode_sort(&scheduler, &mut data, &SortConfig::default());
 //! assert!(data.windows(2).all(|w| w[0] <= w[1]));
 //! ```
+//!
+//! ## Reading the metrics
+//!
+//! The scheduler counts every observable event; snapshot
+//! [`Scheduler::metrics`] around a region and diff with
+//! [`MetricsSnapshot::delta_since`] to attribute events to it (README,
+//! "Reading the metrics"):
+//!
+//! ```
+//! use teamsteal::Scheduler;
+//!
+//! let scheduler = Scheduler::with_threads(4);
+//! let before = scheduler.metrics();
+//! scheduler.run_team(4, |ctx| {
+//!     // ... data-parallel work on all 4 members ...
+//!     ctx.barrier();
+//! });
+//! let delta = scheduler.metrics().delta_since(&before);
+//! assert_eq!(delta.teams_formed, 1);        // one team, built once
+//! assert!(delta.registrations >= 3);        // one CAS per non-coordinator
+//! assert_eq!(delta.team_tasks_executed, 4); // counted per participant
+//! ```
 
 #![warn(missing_docs)]
 

@@ -18,6 +18,21 @@ fn quickstart_equivalent_sorts_on_two_threads() {
 }
 
 #[test]
+fn readme_metrics_walkthrough_works_on_the_facade() {
+    // Guards the README "Reading the metrics" snippet (also a doctest on the
+    // facade crate and on `Scheduler::metrics`).
+    let scheduler = Scheduler::with_threads(2);
+    let before = scheduler.metrics();
+    scheduler.run_team(2, |ctx| {
+        ctx.barrier();
+    });
+    let delta = scheduler.metrics().delta_since(&before);
+    assert_eq!(delta.teams_formed, 1);
+    assert!(delta.registrations >= 1);
+    assert_eq!(delta.team_tasks_executed, 2);
+}
+
+#[test]
 fn facade_reexports_cover_the_quickstart_surface() {
     // Compile-time guard: these paths are what README/quickstart advertise.
     let _build = Scheduler::builder;
