@@ -49,6 +49,7 @@ pub mod harness;
 pub mod histogram;
 pub mod matmul;
 pub mod merge;
+pub mod micro;
 pub mod reduce;
 pub mod scan;
 pub mod slots;

@@ -31,6 +31,7 @@ use std::path::{Path, PathBuf};
 use std::time::SystemTime;
 
 use teamsteal_apps::harness::{Kernel, Workload};
+use teamsteal_apps::micro;
 use teamsteal_bench::report::{
     check_regressions, Environment, JsonValue, Report, RunRecord, TimingSummary, SCHEMA_VERSION,
 };
@@ -46,6 +47,24 @@ use teamsteal_util::timing::RunStats;
 const SORT_SEQUENTIAL: [Variant; 2] = [Variant::SeqStd, Variant::SeqQs];
 const SORT_PARALLEL: [Variant; 3] = [Variant::Fork, Variant::RandFork, Variant::MmPar];
 
+/// Which sweep families a run executes (`--only`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Sweeps {
+    sort: bool,
+    kernel: bool,
+    micro: bool,
+}
+
+impl Default for Sweeps {
+    fn default() -> Self {
+        Sweeps {
+            sort: true,
+            kernel: true,
+            micro: true,
+        }
+    }
+}
+
 struct Options {
     smoke: bool,
     size: usize,
@@ -56,6 +75,7 @@ struct Options {
     out_dir: PathBuf,
     check: Option<PathBuf>,
     tolerance_pct: f64,
+    sweeps: Sweeps,
 }
 
 impl Default for Options {
@@ -70,6 +90,7 @@ impl Default for Options {
             out_dir: PathBuf::from("."),
             check: None,
             tolerance_pct: 25.0,
+            sweeps: Sweeps::default(),
         }
     }
 }
@@ -82,7 +103,11 @@ const HELP: &str = "Perf-trajectory harness (writes BENCH_sort.json / BENCH_kern
   --warmups N        untimed warmup runs per scenario (default 1)
   --seed N           input seed (default 42)
   --out-dir PATH     output directory (default .)
-  --check FILE       fail (exit 1) on MMPar median regression vs baseline FILE
+  --only LIST        comma-separated sweep families to run: sort,kernel,micro
+                     (default: all three)
+  --check FILE       fail (exit 1) on MMPar median regression vs baseline FILE;
+                     with --smoke the comparison runs a dedicated MMPar pass at
+                     the baseline's recorded size/threads so medians compare
   --tolerance PCT    regression tolerance in percent (default 25)";
 
 fn parse_args() -> Result<Options, String> {
@@ -133,6 +158,27 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("bad seed: {e}"))?
             }
             "--out-dir" => opts.out_dir = PathBuf::from(value("a path")?),
+            "--only" => {
+                let list = value("a list")?;
+                let mut sweeps = Sweeps {
+                    sort: false,
+                    kernel: false,
+                    micro: false,
+                };
+                for family in list.split(',') {
+                    match family.trim() {
+                        "sort" => sweeps.sort = true,
+                        "kernel" => sweeps.kernel = true,
+                        "micro" => sweeps.micro = true,
+                        other => {
+                            return Err(format!(
+                                "unknown sweep family '{other}' (expected sort, kernel or micro)"
+                            ))
+                        }
+                    }
+                }
+                opts.sweeps = sweeps;
+            }
             "--check" => opts.check = Some(PathBuf::from(value("a path")?)),
             "--tolerance" => {
                 opts.tolerance_pct = value("a percentage")?
@@ -374,6 +420,162 @@ fn sweep_kernels(opts: &Options) -> Report {
     new_report(opts, "kernel", records)
 }
 
+/// Runs `reps` timed repetitions of one micro scenario (after `warmups`
+/// untimed ones) and folds them into a record.
+fn micro_record(
+    name: &str,
+    work_items: usize,
+    opts: &Options,
+    threads: usize,
+    scheduler: &teamsteal_core::Scheduler,
+    mut run_once: impl FnMut() -> std::time::Duration,
+) -> RunRecord {
+    for _ in 0..opts.warmups {
+        run_once();
+    }
+    let mut stats = RunStats::new();
+    let mut metrics = MetricsSnapshot::default();
+    for _ in 0..opts.reps {
+        let before = scheduler.metrics();
+        stats.record(run_once());
+        metrics = metrics.merge(scheduler.metrics().delta_since(&before));
+    }
+    let secs = TimingSummary::from_stats(&stats);
+    let per_item_ns = if work_items > 0 {
+        secs.median_s * 1e9 / work_items as f64
+    } else {
+        0.0
+    };
+    eprintln!(
+        "micro   | {name:<14} | p = {threads:>2} | median {:>10.6}s | {per_item_ns:>8.1} ns/task",
+        secs.median_s
+    );
+    RunRecord {
+        group: "micro".into(),
+        name: name.into(),
+        distribution: None,
+        size: work_items,
+        threads,
+        warmups: opts.warmups,
+        repetitions: opts.reps,
+        secs,
+        metrics,
+        seq_reference_s: None,
+        speedup_vs_seq: None,
+    }
+}
+
+/// Sweeps the scheduler micro-scenarios (spawn/join loop, steal-latency
+/// probe, external-injection loop) over the thread counts.  The scenario
+/// budgets are derived from `--size` so `--smoke` scales them down too.
+fn sweep_micro(opts: &Options) -> Vec<RunRecord> {
+    let spawns = (opts.size / 4).max(1_000);
+    let steal_tasks = (opts.size / 8).max(1_000);
+    let scopes = (opts.size / 2_048).max(32);
+    let per_scope = 16;
+    let mut records = Vec::new();
+    for &threads in &opts.threads {
+        let scheduler = teamsteal_core::Scheduler::with_threads(threads);
+        records.push(micro_record(
+            "spawn_overhead",
+            spawns,
+            opts,
+            threads,
+            &scheduler,
+            || micro::spawn_overhead(&scheduler, spawns),
+        ));
+        if threads > 1 {
+            records.push(micro_record(
+                "steal_latency",
+                steal_tasks,
+                opts,
+                threads,
+                &scheduler,
+                || micro::steal_latency(&scheduler, steal_tasks),
+            ));
+        }
+        records.push(micro_record(
+            "scope_inject",
+            scopes * per_scope,
+            opts,
+            threads,
+            &scheduler,
+            || micro::scope_inject(&scheduler, scopes, per_scope),
+        ));
+    }
+    records
+}
+
+/// Re-measures the checked variant (MMPar) at the baseline's recorded
+/// (distribution, size, threads) cells, so `--smoke --check` compares
+/// like-for-like medians instead of smoke-sized ones.  Repetitions and
+/// warmups stay at the (smoke) values of the current run.
+fn check_pass_report(baseline: &Report, opts: &Options) -> Result<Report, String> {
+    let seed = baseline
+        .params
+        .get("seed")
+        .and_then(JsonValue::as_f64)
+        .map(|s| s as u64)
+        .unwrap_or(opts.seed);
+    let mmpar = Variant::MmPar.label();
+    // Distinct cells of the baseline, preserving its sweep order.
+    let mut cells: Vec<(String, usize, usize)> = Vec::new();
+    for record in baseline.records.iter().filter(|r| r.name == mmpar) {
+        let cell = (
+            record.distribution.clone().unwrap_or_default(),
+            record.size,
+            record.threads,
+        );
+        if !cells.contains(&cell) {
+            cells.push(cell);
+        }
+    }
+    if cells.is_empty() {
+        return Err("baseline contains no MMPar records to check against".into());
+    }
+    let config = SortConfig::default();
+    let mut records = Vec::new();
+    // One input per (distribution, size); one runner per thread count.
+    let mut inputs: HashMap<(String, usize), Vec<u32>> = HashMap::new();
+    let mut runners: HashMap<usize, VariantRunner> = HashMap::new();
+    for (dist_label, size, threads) in cells {
+        let distribution = Distribution::ALL
+            .into_iter()
+            .find(|d| d.label() == dist_label)
+            .ok_or_else(|| format!("baseline has unknown distribution `{dist_label}`"))?;
+        let input = inputs
+            .entry((dist_label.clone(), size))
+            .or_insert_with(|| distribution.generate(size, 8, seed));
+        let runner = runners
+            .entry(threads)
+            .or_insert_with(|| VariantRunner::new(threads, config.clone()));
+        let sized_opts = Options {
+            smoke: opts.smoke,
+            size,
+            threads: opts.threads.clone(),
+            reps: opts.reps,
+            warmups: opts.warmups,
+            seed,
+            out_dir: opts.out_dir.clone(),
+            check: None,
+            tolerance_pct: opts.tolerance_pct,
+            sweeps: opts.sweeps,
+        };
+        let (stats, metrics) =
+            sort_cell(runner, Variant::MmPar, distribution, input, &sized_opts, threads);
+        records.push(sort_record(
+            Variant::MmPar,
+            distribution,
+            &sized_opts,
+            threads,
+            &stats,
+            metrics,
+            None,
+        ));
+    }
+    Ok(new_report(opts, "sort", records))
+}
+
 fn write_report(path: &Path, report: &Report) -> Result<(), String> {
     std::fs::write(path, report.to_json_string())
         .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
@@ -387,6 +589,9 @@ fn write_report(path: &Path, report: &Report) -> Result<(), String> {
 
 fn run() -> Result<i32, String> {
     let opts = parse_args()?;
+    if opts.check.is_some() && !opts.sweeps.sort && !opts.smoke {
+        return Err("--check needs the sort sweep; drop `--only` families excluding it".into());
+    }
     std::fs::create_dir_all(&opts.out_dir)
         .map_err(|e| format!("cannot create {}: {e}", opts.out_dir.display()))?;
 
@@ -430,15 +635,67 @@ fn run() -> Result<i32, String> {
     );
 
     let sort_path = opts.out_dir.join("BENCH_sort.json");
-    let sort_report = sweep_sorts(&opts);
-    write_report(&sort_path, &sort_report)?;
+    let sort_report = if opts.sweeps.sort {
+        let report = sweep_sorts(&opts);
+        write_report(&sort_path, &report)?;
+        Some(report)
+    } else {
+        None
+    };
 
-    let kernel_report = sweep_kernels(&opts);
-    write_report(&opts.out_dir.join("BENCH_kernels.json"), &kernel_report)?;
+    if opts.sweeps.kernel || opts.sweeps.micro {
+        let kernels_path = opts.out_dir.join("BENCH_kernels.json");
+        // A partial run (`--only kernel` / `--only micro`) must not clobber
+        // the skipped family's records in an existing report at the
+        // destination: carry them over instead.
+        let preserved: Vec<RunRecord> = if opts.sweeps.kernel && opts.sweeps.micro {
+            Vec::new()
+        } else {
+            std::fs::read_to_string(&kernels_path)
+                .ok()
+                .and_then(|text| Report::from_json_str(&text).ok())
+                .map(|existing| {
+                    existing
+                        .records
+                        .into_iter()
+                        .filter(|r| {
+                            (r.group == "kernel" && !opts.sweeps.kernel)
+                                || (r.group == "micro" && !opts.sweeps.micro)
+                        })
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        // Stable record order: kernel records first, then micro.
+        let mut records = if opts.sweeps.kernel {
+            sweep_kernels(&opts).records
+        } else {
+            preserved
+                .iter()
+                .filter(|r| r.group == "kernel")
+                .cloned()
+                .collect()
+        };
+        if opts.sweeps.micro {
+            records.extend(sweep_micro(&opts));
+        } else {
+            records.extend(preserved.into_iter().filter(|r| r.group == "micro"));
+        }
+        let kernel_report = new_report(&opts, "kernel", records);
+        write_report(&kernels_path, &kernel_report)?;
+    }
 
     if let Some((baseline_path, baseline)) = baseline {
+        // Under --smoke the fresh sort report used tiny inputs, so its
+        // medians are incomparable to the baseline: run a dedicated MMPar
+        // pass at the baseline's recorded parameters instead.
+        let current = if opts.smoke {
+            check_pass_report(&baseline, &opts)?
+        } else {
+            sort_report.expect("--check without --smoke requires the sort sweep")
+        };
         let outcome =
-            check_regressions(&baseline, &sort_report, Variant::MmPar.label(), opts.tolerance_pct);
+            check_regressions(&baseline, &current, Variant::MmPar.label(), opts.tolerance_pct);
         for missing in &outcome.missing_baseline {
             eprintln!("check: no baseline record for {missing}");
         }

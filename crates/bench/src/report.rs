@@ -503,7 +503,11 @@ impl TimingSummary {
 
 /// The scheduler-counter fields serialized into every record, in schema
 /// order.  Shared by the writer, the parser and the schema documentation.
-const METRIC_FIELDS: [&str; 10] = [
+///
+/// `nodes_recycled`, `tasks_injected` and `liveness_resyncs` were added with
+/// the arena/injector runtime (PR 3); the parser defaults absent counters to
+/// zero so reports written by earlier harnesses stay readable.
+const METRIC_FIELDS: [&str; 13] = [
     "tasks_executed",
     "team_tasks_executed",
     "teams_formed",
@@ -514,6 +518,9 @@ const METRIC_FIELDS: [&str; 10] = [
     "help_steals",
     "tasks_spawned",
     "cas_failures",
+    "nodes_recycled",
+    "tasks_injected",
+    "liveness_resyncs",
 ];
 
 fn metrics_to_json(m: &MetricsSnapshot) -> JsonValue {
@@ -528,6 +535,9 @@ fn metrics_to_json(m: &MetricsSnapshot) -> JsonValue {
         m.help_steals,
         m.tasks_spawned,
         m.cas_failures,
+        m.nodes_recycled,
+        m.tasks_injected,
+        m.liveness_resyncs,
     ];
     JsonValue::Object(
         METRIC_FIELDS
@@ -546,6 +556,15 @@ fn metrics_from_json(value: &JsonValue) -> Result<MetricsSnapshot, String> {
             .map(|n| n as u64)
             .ok_or_else(|| format!("metrics missing `{key}`"))
     };
+    // Counters added after schema introduction default to zero, so older
+    // committed baselines keep parsing.
+    let optional_field = |key: &str| -> u64 {
+        value
+            .get(key)
+            .and_then(JsonValue::as_f64)
+            .map(|n| n as u64)
+            .unwrap_or(0)
+    };
     Ok(MetricsSnapshot {
         tasks_executed: field("tasks_executed")?,
         team_tasks_executed: field("team_tasks_executed")?,
@@ -557,6 +576,9 @@ fn metrics_from_json(value: &JsonValue) -> Result<MetricsSnapshot, String> {
         help_steals: field("help_steals")?,
         tasks_spawned: field("tasks_spawned")?,
         cas_failures: field("cas_failures")?,
+        nodes_recycled: optional_field("nodes_recycled"),
+        tasks_injected: optional_field("tasks_injected"),
+        liveness_resyncs: optional_field("liveness_resyncs"),
     })
 }
 

@@ -179,17 +179,26 @@ fn in_place_check_compares_against_the_previous_contents() {
 
 #[test]
 fn check_fails_when_no_scenario_matches_the_baseline() {
-    // A baseline recorded at a different size matches nothing; a gate that
-    // compared zero scenarios must fail loudly instead of passing.
+    // In a full (non-smoke) run, a baseline recorded at a different size
+    // matches nothing; a gate that compared zero scenarios must fail loudly
+    // instead of passing.  (Under --smoke the harness instead re-measures at
+    // the baseline's own parameters, so a mismatch cannot occur there.)
     let dir = scratch_dir("check-mismatch");
     let out = run_perf(&["--smoke", "--out-dir", dir.to_str().unwrap()]);
     assert!(out.status.success());
     let baseline = dir.join("BENCH_sort.json");
     let other_dir = scratch_dir("check-mismatch-run");
     let out = run_perf(&[
-        "--smoke",
         "--size",
         "30000", // differs from the baseline's 20000
+        "--threads",
+        "2",
+        "--reps",
+        "1",
+        "--warmups",
+        "0",
+        "--only",
+        "sort",
         "--out-dir",
         other_dir.to_str().unwrap(),
         "--check",
@@ -197,6 +206,77 @@ fn check_fails_when_no_scenario_matches_the_baseline() {
     ]);
     assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stderr).contains("no scenario"));
+}
+
+#[test]
+fn partial_only_run_preserves_the_skipped_familys_records() {
+    // `--only micro` over an existing BENCH_kernels.json must carry the
+    // kernel records over instead of silently discarding them (and vice
+    // versa for `--only kernel`).
+    let dir = scratch_dir("only-preserves");
+    let out = run_perf(&["--smoke", "--out-dir", dir.to_str().unwrap()]);
+    assert!(out.status.success());
+    let kernels_path = dir.join("BENCH_kernels.json");
+    let full = Report::from_json_str(&std::fs::read_to_string(&kernels_path).unwrap()).unwrap();
+    let kernel_count = full.records.iter().filter(|r| r.group == "kernel").count();
+    let micro_count = full.records.iter().filter(|r| r.group == "micro").count();
+    assert!(kernel_count > 0 && micro_count > 0);
+
+    let out = run_perf(&["--smoke", "--only", "micro", "--out-dir", dir.to_str().unwrap()]);
+    assert!(out.status.success());
+    let merged = Report::from_json_str(&std::fs::read_to_string(&kernels_path).unwrap()).unwrap();
+    assert_eq!(
+        merged.records.iter().filter(|r| r.group == "kernel").count(),
+        kernel_count,
+        "a micro-only run must preserve the existing kernel records"
+    );
+    assert_eq!(
+        merged.records.iter().filter(|r| r.group == "micro").count(),
+        micro_count,
+        "the micro records must be refreshed, not duplicated"
+    );
+    // Order stays kernel-first, micro-last.
+    let first_micro = merged.records.iter().position(|r| r.group == "micro").unwrap();
+    assert!(merged.records[..first_micro].iter().all(|r| r.group == "kernel"));
+}
+
+#[test]
+fn smoke_check_compares_at_the_baselines_parameters() {
+    // --smoke --check must be meaningful against a full-size baseline: the
+    // harness re-measures MMPar at the baseline's recorded cells.  A
+    // non-regressed baseline (medians forced to ~infinity) therefore passes
+    // even though the smoke sweep itself used different sizes.
+    let dir = scratch_dir("smoke-check-params");
+    let out = run_perf(&["--smoke", "--seed", "7", "--out-dir", dir.to_str().unwrap()]);
+    assert!(out.status.success());
+    let baseline_path = dir.join("BENCH_sort.json");
+    let mut baseline =
+        Report::from_json_str(&std::fs::read_to_string(&baseline_path).unwrap()).unwrap();
+    for record in &mut baseline.records {
+        record.secs.median_s *= 1000.0; // current run is guaranteed faster
+    }
+    std::fs::write(&baseline_path, baseline.to_json_string()).unwrap();
+    let run_dir = scratch_dir("smoke-check-params-run");
+    let out = run_perf(&[
+        "--smoke",
+        "--seed",
+        "7",
+        "--size",
+        "12345", // deliberately different from the baseline's 20000
+        "--only",
+        "sort",
+        "--out-dir",
+        run_dir.to_str().unwrap(),
+        "--check",
+        baseline_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "smoke check must compare at baseline parameters: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("check: OK"), "stdout: {stdout}");
 }
 
 #[test]

@@ -2,16 +2,18 @@
 
 use std::sync::Arc;
 
-use crate::task::{Job, OnceJob, ScopeState, TaskNode, TeamJob};
+use crate::task::{Job, JobSlot, OnceJob, ScopeState, TeamJob};
 use crate::team::TeamBarrier;
 
 /// Internal interface the executing worker exposes to the task context so
 /// tasks can spawn further tasks onto the worker's own queues (the paper's
 /// `pushBottom` from inside `task.run()`).
 pub(crate) trait SpawnTarget {
-    /// Pushes an already allocated task node onto the executing worker's
-    /// local queue (bottom), choosing the queue level from the requirement.
-    fn spawn_node(&self, node: *mut TaskNode, requirement: usize);
+    /// Allocates a task node for `job` (from the worker's arena when one is
+    /// available) and pushes it onto the executing worker's local queue
+    /// (bottom), choosing the queue level from the requirement.  Increments
+    /// the scope's pending counter.
+    fn spawn_job_slot(&self, job: JobSlot, requirement: usize, scope: &Arc<ScopeState>);
     /// Global id of the executing worker thread.
     fn worker_id(&self) -> usize;
     /// Total number of worker threads in the scheduler.
@@ -111,7 +113,7 @@ impl<'a> TaskContext<'a> {
     where
         F: FnOnce(&TaskContext<'_>) + Send + 'static,
     {
-        self.spawn_job(Box::new(OnceJob::new(f)));
+        self.spawn_concrete(OnceJob::new(f));
     }
 
     /// Spawns a data-parallel child task requiring `threads` workers (the
@@ -126,7 +128,7 @@ impl<'a> TaskContext<'a> {
     where
         F: Fn(&TaskContext<'_>) + Send + Sync + 'static,
     {
-        self.spawn_job(Box::new(TeamJob::new(threads, f)));
+        self.spawn_concrete(TeamJob::new(threads, f));
     }
 
     /// Spawns an arbitrary [`Job`] implementation.
@@ -137,14 +139,27 @@ impl<'a> TaskContext<'a> {
     /// scheduler threads.
     pub fn spawn_job(&self, job: Box<dyn Job>) {
         let requirement = job.requirement();
+        self.check_requirement(requirement);
+        self.worker
+            .spawn_job_slot(JobSlot::Boxed(job), requirement, self.scope);
+    }
+
+    /// Spawns a concretely typed job, storing it inline in the task node
+    /// when it fits (the common case for `spawn` / `spawn_team` closures).
+    fn spawn_concrete<J: Job + 'static>(&self, job: J) {
+        let requirement = job.requirement();
+        self.check_requirement(requirement);
+        self.worker
+            .spawn_job_slot(JobSlot::new(job), requirement, self.scope);
+    }
+
+    fn check_requirement(&self, requirement: usize) {
         assert!(requirement >= 1, "a task requires at least one thread");
         assert!(
             requirement <= self.worker.num_threads(),
             "task requires {requirement} threads but the scheduler only has {}",
             self.worker.num_threads()
         );
-        let node = TaskNode::allocate(job, requirement, Arc::clone(self.scope));
-        self.worker.spawn_node(node, requirement);
     }
 }
 
@@ -159,11 +174,13 @@ mod tests {
     }
 
     impl SpawnTarget for RecordingTarget {
-        fn spawn_node(&self, node: *mut TaskNode, requirement: usize) {
+        fn spawn_job_slot(&self, job: JobSlot, requirement: usize, scope: &Arc<ScopeState>) {
+            drop(job);
             self.spawned.borrow_mut().push(requirement);
-            // SAFETY: test owns the node; free it immediately.
-            let node = unsafe { Box::from_raw(node) };
-            node.scope.task_finished();
+            // The test target executes nothing: account the task as
+            // spawned-and-finished immediately.
+            scope.task_spawned();
+            scope.task_finished();
         }
         fn worker_id(&self) -> usize {
             3

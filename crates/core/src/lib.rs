@@ -87,6 +87,7 @@ pub use metrics::MetricsSnapshot;
 pub use scheduler::{Scheduler, SchedulerBuilder, Scope};
 pub use task::Job;
 pub use team::TeamBarrier;
+pub use worker::enable_stall_debug;
 
 // Re-export the topology types users need to configure a scheduler.
 pub use teamsteal_topology::{StealPolicy, Topology};

@@ -33,6 +33,16 @@ pub struct WorkerCounters {
     pub tasks_spawned: AtomicU64,
     /// CAS failures on registration structures observed by this worker.
     pub cas_failures: AtomicU64,
+    /// Task nodes served from this worker's recycling arena instead of fresh
+    /// memory (`nodes_recycled / tasks_spawned` is the arena hit rate).
+    pub nodes_recycled: AtomicU64,
+    /// Externally injected root tasks this worker pulled from the injection
+    /// queue.
+    pub tasks_injected: AtomicU64,
+    /// Times this worker triggered the liveness backstop (coordinator
+    /// re-announcement or member re-registration after a long unproductive
+    /// poll).  Zero in healthy runs.
+    pub liveness_resyncs: AtomicU64,
 }
 
 impl WorkerCounters {
@@ -95,6 +105,24 @@ impl WorkerCounters {
         Self::bump(&self.cas_failures);
     }
 
+    /// Increments the recycled-node counter.
+    #[inline]
+    pub fn inc_nodes_recycled(&self) {
+        Self::bump(&self.nodes_recycled);
+    }
+
+    /// Increments the injected-task counter.
+    #[inline]
+    pub fn inc_tasks_injected(&self) {
+        Self::bump(&self.tasks_injected);
+    }
+
+    /// Increments the liveness-resync counter.
+    #[inline]
+    pub fn inc_liveness_resyncs(&self) {
+        Self::bump(&self.liveness_resyncs);
+    }
+
     /// Adds `n` to the stolen-task counter.
     #[inline]
     pub fn add_tasks_stolen(&self, n: u64) {
@@ -114,6 +142,9 @@ impl WorkerCounters {
             help_steals: self.help_steals.load(Ordering::Relaxed),
             tasks_spawned: self.tasks_spawned.load(Ordering::Relaxed),
             cas_failures: self.cas_failures.load(Ordering::Relaxed),
+            nodes_recycled: self.nodes_recycled.load(Ordering::Relaxed),
+            tasks_injected: self.tasks_injected.load(Ordering::Relaxed),
+            liveness_resyncs: self.liveness_resyncs.load(Ordering::Relaxed),
         }
     }
 }
@@ -142,6 +173,12 @@ pub struct MetricsSnapshot {
     pub tasks_spawned: u64,
     /// Registration CAS failures.
     pub cas_failures: u64,
+    /// Task nodes served from a worker's recycling arena.
+    pub nodes_recycled: u64,
+    /// Root tasks pulled from the external injection queue.
+    pub tasks_injected: u64,
+    /// Liveness-backstop resyncs (zero in healthy runs).
+    pub liveness_resyncs: u64,
 }
 
 impl MetricsSnapshot {
@@ -168,6 +205,9 @@ impl MetricsSnapshot {
             help_steals: self.help_steals + other.help_steals,
             tasks_spawned: self.tasks_spawned + other.tasks_spawned,
             cas_failures: self.cas_failures + other.cas_failures,
+            nodes_recycled: self.nodes_recycled + other.nodes_recycled,
+            tasks_injected: self.tasks_injected + other.tasks_injected,
+            liveness_resyncs: self.liveness_resyncs + other.liveness_resyncs,
         }
     }
 
@@ -205,6 +245,11 @@ impl MetricsSnapshot {
             help_steals: self.help_steals.saturating_sub(earlier.help_steals),
             tasks_spawned: self.tasks_spawned.saturating_sub(earlier.tasks_spawned),
             cas_failures: self.cas_failures.saturating_sub(earlier.cas_failures),
+            nodes_recycled: self.nodes_recycled.saturating_sub(earlier.nodes_recycled),
+            tasks_injected: self.tasks_injected.saturating_sub(earlier.tasks_injected),
+            liveness_resyncs: self
+                .liveness_resyncs
+                .saturating_sub(earlier.liveness_resyncs),
         }
     }
 
@@ -252,6 +297,9 @@ mod tests {
         c.inc_help_steals();
         c.inc_tasks_spawned();
         c.inc_cas_failures();
+        c.inc_nodes_recycled();
+        c.inc_tasks_injected();
+        c.inc_liveness_resyncs();
         c.add_tasks_stolen(1);
         let s = c.snapshot();
         assert_eq!(
@@ -267,6 +315,9 @@ mod tests {
                 help_steals: 1,
                 tasks_spawned: 1,
                 cas_failures: 1,
+                nodes_recycled: 1,
+                tasks_injected: 1,
+                liveness_resyncs: 1,
             }
         );
     }

@@ -9,7 +9,7 @@ use teamsteal_topology::{StealPolicy, Topology};
 use crate::config::{SchedulerConfig, StealAmount};
 use crate::context::TaskContext;
 use crate::metrics::MetricsSnapshot;
-use crate::task::{Job, OnceJob, ScopeState, TaskNode, TeamJob};
+use crate::task::{Job, JobSlot, OnceJob, ScopeState, TaskNode, TeamJob};
 use crate::worker::{SchedulerShared, Worker};
 
 /// Builder for a [`Scheduler`].
@@ -269,6 +269,14 @@ impl Scheduler {
             .fold(MetricsSnapshot::default(), MetricsSnapshot::merge)
     }
 
+    /// One-line dump of every worker's scheduler-visible state (registration
+    /// word, coordinator, start countdown, queue lengths) plus the injection
+    /// queue length.  Lock-free and safe to call while the scheduler is
+    /// running; intended for stall diagnostics and test watchdogs.
+    pub fn debug_state(&self) -> String {
+        self.shared.debug_state_line()
+    }
+
     fn check_requirement(&self, requirement: usize) {
         assert!(requirement >= 1, "a task requires at least one thread");
         assert!(
@@ -314,7 +322,7 @@ impl Scope<'_> {
     where
         F: FnOnce(&TaskContext<'_>) + Send + 'static,
     {
-        self.spawn_job(Box::new(OnceJob::new(f)));
+        self.spawn_concrete(OnceJob::new(f));
     }
 
     /// Submits a data-parallel root task requiring `threads` workers.  The
@@ -323,14 +331,25 @@ impl Scope<'_> {
     where
         F: Fn(&TaskContext<'_>) + Send + Sync + 'static,
     {
-        self.spawn_job(Box::new(TeamJob::new(threads, f)));
+        self.spawn_concrete(TeamJob::new(threads, f));
     }
 
     /// Submits an arbitrary [`Job`] implementation as a root task.
     pub fn spawn_job(&self, job: Box<dyn Job>) {
         let requirement = job.requirement();
         self.scheduler.check_requirement(requirement);
-        let node = TaskNode::allocate(job, requirement, Arc::clone(&self.state));
+        let node =
+            TaskNode::allocate_boxed(JobSlot::Boxed(job), requirement, Arc::clone(&self.state));
+        self.scheduler.shared.inject(node);
+    }
+
+    /// Submits a concretely typed root task.  Small jobs are stored inline
+    /// in the (boxed) node, so external submission costs one allocation.
+    fn spawn_concrete<J: Job + 'static>(&self, job: J) {
+        let requirement = job.requirement();
+        self.scheduler.check_requirement(requirement);
+        let node =
+            TaskNode::allocate_boxed(JobSlot::new(job), requirement, Arc::clone(&self.state));
         self.scheduler.shared.inject(node);
     }
 

@@ -5,10 +5,28 @@
 //! carries the thread requirement `r` (Section 3 of the paper), and — once a
 //! team has been built for it — the team descriptor and the completion
 //! countdown shared by all executing team members.
+//!
+//! # Task memory management
+//!
+//! Spawning is the scheduler's hottest path, so task nodes avoid the global
+//! allocator twice over (DESIGN.md §8):
+//!
+//! * **Inline job storage** — closures small enough for the node's fixed
+//!   payload area are moved *into* the node (`JobSlot::Inline`); only
+//!   oversized closures and type-erased `Box<dyn Job>` submissions pay for
+//!   a separate heap allocation (`JobSlot::Boxed`).
+//! * **Node recycling** — nodes spawned from worker threads come from the
+//!   worker's slab arena ([`teamsteal_util::slab::Slab`]) and are returned
+//!   to it by whichever thread finishes the task last; nodes submitted from
+//!   outside the pool (no arena available) fall back to `Box`.  The `home`
+//!   pointer records which of the two frees the node.
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+
+use teamsteal_util::slab::{Recycle, Slab};
 
 use crate::context::TaskContext;
 use crate::team::TeamBarrier;
@@ -92,6 +110,105 @@ impl<F: Fn(&TaskContext<'_>) + Send + Sync> Job for TeamJob<F> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Job storage: inline payload with boxed fallback
+// ---------------------------------------------------------------------------
+
+/// Words of inline closure storage in every task node.  Sized so the typical
+/// spawn captures (a couple of `Arc`s, slice pointers, lengths, a config
+/// reference) fit; larger jobs fall back to a box.
+const INLINE_JOB_WORDS: usize = 10;
+const INLINE_JOB_BYTES: usize = INLINE_JOB_WORDS * std::mem::size_of::<usize>();
+
+/// Calls `J::run` on the job stored at `payload`.
+///
+/// # Safety
+///
+/// `payload` must point to a live, initialized `J`.
+unsafe fn run_job_thunk<J: Job>(payload: *const u8, ctx: &TaskContext<'_>) {
+    // SAFETY: caller contract.
+    unsafe { (*payload.cast::<J>()).run(ctx) }
+}
+
+/// Drops the job stored at `payload` in place.
+///
+/// # Safety
+///
+/// `payload` must point to a live, initialized `J`; it is dead afterwards.
+unsafe fn drop_job_thunk<J: Job>(payload: *mut u8) {
+    // SAFETY: caller contract.
+    unsafe { std::ptr::drop_in_place(payload.cast::<J>()) }
+}
+
+/// A type-erased job stored inline in the node's payload area: the closure's
+/// bytes plus manual run/drop vtable entries.
+pub(crate) struct InlineJob {
+    run_fn: unsafe fn(*const u8, &TaskContext<'_>),
+    drop_fn: unsafe fn(*mut u8),
+    payload: [MaybeUninit<usize>; INLINE_JOB_WORDS],
+}
+
+impl InlineJob {
+    #[inline]
+    fn run(&self, ctx: &TaskContext<'_>) {
+        // SAFETY: `payload` holds the live job written in `JobSlot::new`;
+        // it is dropped only by `InlineJob::drop`.
+        unsafe { (self.run_fn)(self.payload.as_ptr().cast::<u8>(), ctx) }
+    }
+}
+
+impl Drop for InlineJob {
+    fn drop(&mut self) {
+        // SAFETY: the payload was initialized in `JobSlot::new` and is
+        // dropped exactly once, here.
+        unsafe { (self.drop_fn)(self.payload.as_mut_ptr().cast::<u8>()) }
+    }
+}
+
+/// The job of one task node: stored inline when it fits, boxed otherwise.
+pub(crate) enum JobSlot {
+    /// Small job moved into the node's payload area — no heap allocation.
+    Inline(InlineJob),
+    /// Oversized or pre-boxed (`spawn_job`) job.
+    Boxed(Box<dyn Job>),
+}
+
+impl JobSlot {
+    /// Packs a concrete job, inline when it fits the payload area.
+    pub(crate) fn new<J: Job + 'static>(job: J) -> JobSlot {
+        if std::mem::size_of::<J>() <= INLINE_JOB_BYTES
+            && std::mem::align_of::<J>() <= std::mem::align_of::<usize>()
+        {
+            let mut payload = [MaybeUninit::<usize>::uninit(); INLINE_JOB_WORDS];
+            // SAFETY: the size/alignment checks above make the payload area
+            // a valid home for `J`; the value is moved in exactly once.
+            unsafe { payload.as_mut_ptr().cast::<J>().write(job) };
+            JobSlot::Inline(InlineJob {
+                run_fn: run_job_thunk::<J>,
+                drop_fn: drop_job_thunk::<J>,
+                payload,
+            })
+        } else {
+            JobSlot::Boxed(Box::new(job))
+        }
+    }
+
+    /// Executes the job (once per team member for team jobs).
+    #[inline]
+    pub(crate) fn run(&self, ctx: &TaskContext<'_>) {
+        match self {
+            JobSlot::Inline(inline) => inline.run(ctx),
+            JobSlot::Boxed(job) => job.run(ctx),
+        }
+    }
+
+    /// `true` when the job lives in the node's payload area.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn is_inline(&self) -> bool {
+        matches!(self, JobSlot::Inline(_))
+    }
+}
+
 /// Completion bookkeeping for one `Scheduler::scope` invocation.
 ///
 /// Every spawned task increments `pending`; the last team member to finish a
@@ -133,11 +250,21 @@ impl ScopeState {
     }
 
     /// Registers one more outstanding task.
+    ///
+    /// Relaxed suffices (DESIGN.md §9): every increment is sequenced before
+    /// the matching decrement on the spawning thread (a task is pushed only
+    /// after it is counted, and executed only after it is pushed), so the
+    /// counter's modification order can never expose a transient zero while
+    /// work is outstanding; the release/acquire pair that `wait` needs lives
+    /// entirely in [`task_finished`](Self::task_finished) and
+    /// [`wait`](Self::wait).
     pub(crate) fn task_spawned(&self) {
-        self.pending.fetch_add(1, Ordering::AcqRel);
+        self.pending.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Marks one task as fully finished (all team members done).
+    /// Marks one task as fully finished (all team members done).  The
+    /// release half of the AcqRel pairs with the acquire load in `wait`, so
+    /// the scope caller observes all task side effects.
     pub(crate) fn task_finished(&self) {
         if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
             let _guard = self.lock.lock().expect("scope lock poisoned");
@@ -166,11 +293,21 @@ impl ScopeState {
 
 /// The scheduler-internal representation of one spawned task.
 ///
-/// Allocated on spawn, pushed into a deque as a raw pointer, and freed by the
-/// last team member that finishes executing it.
+/// Nodes spawned on worker threads live in the spawning worker's slab arena
+/// and are recycled there by the last finishing participant; externally
+/// submitted nodes are boxed.  Either way the node travels through the
+/// deques as a raw pointer and is freed exactly once, by
+/// `TaskNode::release`.
 pub struct TaskNode {
+    /// Intrusive link used by the home slab while the node is dead.  Never
+    /// touched while the node is alive.
+    free_next: AtomicPtr<TaskNode>,
+    /// The arena this node recycles into; null for box-allocated nodes.
+    /// Points into the scheduler's shared worker state, which outlives every
+    /// node (workers are joined and queues drained before it drops).
+    home: *const Slab<TaskNode>,
     /// The user job.
-    pub(crate) job: Box<dyn Job>,
+    pub(crate) job: JobSlot,
     /// Thread requirement `r` as requested at spawn time.
     pub(crate) requirement: usize,
     /// Scope this task belongs to (for completion counting).
@@ -189,13 +326,32 @@ pub struct TaskNode {
 
 // SAFETY: the UnsafeCell fields are written only by the coordinating worker
 // before publication and read only after the publication is observed through
-// an acquire load; `participants` and `job` are themselves thread-safe.
+// an acquire load; `participants` and `job` are themselves thread-safe, and
+// `home`/`free_next` are only used by the release/recycle protocol.
 unsafe impl Send for TaskNode {}
 unsafe impl Sync for TaskNode {}
 
+// SAFETY: `free_next` is a dedicated field inside the node, accessed through
+// a raw pointer without forming references to the rest of the (dead) node.
+unsafe impl Recycle for TaskNode {
+    unsafe fn free_link(ptr: *mut Self) -> *mut AtomicPtr<Self> {
+        // SAFETY: `addr_of_mut!` projects the field without dereferencing.
+        unsafe { std::ptr::addr_of_mut!((*ptr).free_next) }
+    }
+}
+
 impl TaskNode {
-    pub(crate) fn new(job: Box<dyn Job>, requirement: usize, scope: Arc<ScopeState>) -> Self {
+    /// Builds a node value.  `home` is the slab the node recycles into
+    /// (null ⇒ the node is boxed and freed through `Box::from_raw`).
+    pub(crate) fn new_in(
+        job: JobSlot,
+        requirement: usize,
+        scope: Arc<ScopeState>,
+        home: *const Slab<TaskNode>,
+    ) -> Self {
         TaskNode {
+            free_next: AtomicPtr::new(std::ptr::null_mut()),
+            home,
             job,
             requirement,
             scope,
@@ -206,22 +362,53 @@ impl TaskNode {
         }
     }
 
-    /// Allocates a node and returns the raw pointer that travels through the
-    /// deques.  The scope's pending counter is incremented here.
-    pub(crate) fn allocate(
-        job: Box<dyn Job>,
+    /// Allocates a boxed node (used for root tasks submitted from outside
+    /// the worker pool, where no arena is available) and returns the raw
+    /// pointer that travels through the deques.  The scope's pending counter
+    /// is incremented here.
+    pub(crate) fn allocate_boxed(
+        job: JobSlot,
         requirement: usize,
         scope: Arc<ScopeState>,
     ) -> *mut TaskNode {
         scope.task_spawned();
-        Box::into_raw(Box::new(TaskNode::new(job, requirement, scope)))
+        Box::into_raw(Box::new(TaskNode::new_in(
+            job,
+            requirement,
+            scope,
+            std::ptr::null(),
+        )))
+    }
+
+    /// Frees a node: recycles it into its home arena, or drops the box.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must come from [`TaskNode::allocate_boxed`] or a slab `alloc`
+    /// that recorded the slab in `home`, the caller must be the last holder
+    /// of the node, and the node must not be touched afterwards.
+    pub(crate) unsafe fn release(ptr: *mut TaskNode) {
+        // SAFETY: the node is still alive here; reading `home` is fine.
+        let home = unsafe { (*ptr).home };
+        if home.is_null() {
+            // SAFETY: allocated by `allocate_boxed`.
+            drop(unsafe { Box::from_raw(ptr) });
+        } else {
+            // SAFETY: drop the contents in place, then hand the dead slot
+            // back to its arena; the arena outlives all nodes (see `home`).
+            unsafe {
+                std::ptr::drop_in_place(ptr);
+                (*home).free(ptr);
+            }
+        }
     }
 }
 
 /// A word-sized handle to a [`TaskNode`] as stored in the work-stealing
-/// deques.  The handle does not own the node; ownership is tracked by the
-/// execution protocol (a node is freed by the last finishing participant, or
-/// by the scheduler when draining queues at shutdown).
+/// deques and the injection queue.  The handle does not own the node;
+/// ownership is tracked by the execution protocol (a node is freed by the
+/// last finishing participant, or by the scheduler when draining queues at
+/// shutdown).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct TaskPtr(pub(crate) *mut TaskNode);
 
@@ -270,19 +457,50 @@ mod tests {
     #[test]
     fn allocate_increments_pending_and_sets_defaults() {
         let scope = ScopeState::new();
-        let ptr = TaskNode::allocate(
-            Box::new(TeamJob::new(4, |_ctx: &TaskContext<'_>| {})),
+        let ptr = TaskNode::allocate_boxed(
+            JobSlot::new(TeamJob::new(4, |_ctx: &TaskContext<'_>| {})),
             4,
             Arc::clone(&scope),
         );
         assert_eq!(scope.pending(), 1);
         // SAFETY: we just allocated it and nothing else references it.
-        let node = unsafe { Box::from_raw(ptr) };
+        let node = unsafe { &*ptr };
         assert_eq!(node.requirement, 4);
-        assert_eq!(node.job.requirement(), 4);
         assert_eq!(node.participants.load(Ordering::Relaxed), 1);
-        drop(node);
-        scope.task_finished();
+        let node_scope = Arc::clone(&node.scope);
+        // SAFETY: sole holder.
+        unsafe { TaskNode::release(ptr) };
+        node_scope.task_finished();
         assert_eq!(scope.pending(), 0);
+    }
+
+    #[test]
+    fn small_jobs_store_inline_large_jobs_box() {
+        let small = JobSlot::new(TeamJob::new(2, |_ctx: &TaskContext<'_>| {}));
+        assert!(small.is_inline(), "an empty closure fits the payload area");
+        let big_payload = [0u64; 64];
+        let big = JobSlot::new(TeamJob::new(2, move |_ctx: &TaskContext<'_>| {
+            std::hint::black_box(&big_payload);
+        }));
+        assert!(!big.is_inline(), "a 512-byte capture must fall back to Box");
+    }
+
+    #[test]
+    fn inline_jobs_drop_their_captures() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Token;
+        impl Drop for Token {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let token = Token;
+        let slot = JobSlot::new(OnceJob::new(move |_ctx: &TaskContext<'_>| {
+            let _keep = &token;
+        }));
+        assert!(slot.is_inline());
+        assert_eq!(DROPS.load(Ordering::SeqCst), 0);
+        drop(slot);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 1, "unexecuted inline job drops its capture");
     }
 }

@@ -8,22 +8,36 @@
 //! `switchToCoordinator` procedures; every deliberate clarification or
 //! deviation is marked with a `paper:` comment and summarized in DESIGN.md §5.
 
-use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
-use teamsteal_deque::{Deque, Steal};
+use teamsteal_deque::{Injector, RawDeque, Steal};
 use teamsteal_registration::{AcquireOutcome, AtomicRegistration, ReleaseOutcome};
 use teamsteal_topology::{StealPolicy, Topology};
 use teamsteal_util::rng::{worker_rng, Xoshiro256};
-use teamsteal_util::{Backoff, CachePadded};
+use teamsteal_util::slab::Slab;
+use teamsteal_util::{bits, Backoff, CachePadded};
 
 use crate::config::{SchedulerConfig, StealAmount};
 use crate::context::{SpawnTarget, TaskContext};
 use crate::metrics::WorkerCounters;
-use crate::task::{TaskNode, TaskPtr};
+use crate::task::{JobSlot, ScopeState, TaskNode, TaskPtr};
 use crate::team::TeamBarrier;
+
+/// Runtime switch for the stall-state dumps, in addition to the
+/// `TEAMSTEAL_STALL_DEBUG` environment variable.  See [`enable_stall_debug`].
+static FORCE_STALL_DEBUG: AtomicBool = AtomicBool::new(false);
+
+/// Turns on the scheduler's periodic stall-state dumps at runtime, as if
+/// `TEAMSTEAL_STALL_DEBUG` had been set.  Intended for test watchdogs that
+/// have detected a hang and want the workers to report their state before
+/// the process is aborted.  There is deliberately no way to turn the dumps
+/// off again: by the time this is called, the process is already doomed to
+/// debugging.
+pub fn enable_stall_debug() {
+    FORCE_STALL_DEBUG.store(true, Ordering::Release);
+}
 
 /// Per-worker state visible to other workers (the paper's per-thread
 /// data structure reachable through `ThreadRef[]`).
@@ -32,8 +46,18 @@ pub(crate) struct WorkerShared {
     #[allow(dead_code)]
     pub(crate) id: usize,
     /// One deque per hierarchy level (Refinement 1): queue `ℓ` holds tasks
-    /// whose requirement maps to level `ℓ` for this worker.
-    pub(crate) queues: Vec<Deque<TaskPtr>>,
+    /// whose requirement maps to level `ℓ` for this worker.  The deques
+    /// store raw `TaskNode` pointers as words, so pushing a task never
+    /// allocates.
+    pub(crate) queues: Vec<RawDeque>,
+    /// Occupancy bitmask: bit `ℓ` is set when queue `ℓ` *may* be non-empty.
+    /// The owner sets a bit **before** pushing and is the only clearer
+    /// (after observing emptiness), so for thieves a clear bit reliably
+    /// means "empty", while a set bit is a hint to check the queue.
+    pub(crate) occupancy: AtomicUsize,
+    /// This worker's task-node arena.  `alloc` is owner-only (the spawn
+    /// path); `free` is called by whichever worker finishes a task last.
+    pub(crate) node_pool: Slab<TaskNode>,
     /// The packed registration structure `R = {r, a, t, N}`.
     pub(crate) reg: AtomicRegistration,
     /// Id of the coordinator this worker is registered with (self ⇒ none).
@@ -58,9 +82,15 @@ pub(crate) struct WorkerShared {
 
 impl WorkerShared {
     fn new(id: usize, queue_levels: usize) -> Self {
+        debug_assert!(
+            queue_levels <= usize::BITS as usize,
+            "occupancy bitmask holds one bit per queue level"
+        );
         WorkerShared {
             id,
-            queues: (0..queue_levels).map(|_| Deque::new()).collect(),
+            queues: (0..queue_levels).map(|_| RawDeque::new()).collect(),
+            occupancy: AtomicUsize::new(0),
+            node_pool: Slab::new(),
             reg: AtomicRegistration::new(),
             coordinator: AtomicUsize::new(id),
             publish_seq: AtomicU64::new(0),
@@ -72,9 +102,39 @@ impl WorkerShared {
         }
     }
 
-    /// Returns the index of the lowest non-empty queue, if any.
+    /// Pushes a task onto queue `level`.  **Owner only** (deque contract).
+    fn push_task(&self, level: usize, ptr: *mut TaskNode) {
+        // Set the occupancy bit before the push: a thief that observes a
+        // clear bit may then safely skip the level, because the element
+        // cannot become visible (release store in `push_bottom`) before the
+        // bit does.
+        let bit = 1usize << level;
+        if self.occupancy.load(Ordering::Relaxed) & bit == 0 {
+            self.occupancy.fetch_or(bit, Ordering::Relaxed);
+        }
+        self.queues[level].push_bottom(ptr as usize);
+    }
+
+    /// Pops from the bottom of queue `level`.  **Owner only.**
+    fn pop_task(&self, level: usize) -> Option<*mut TaskNode> {
+        self.queues[level].pop_bottom().map(|word| word as *mut TaskNode)
+    }
+
+    /// Returns the index of the lowest non-empty queue, if any, using the
+    /// occupancy bitmask instead of scanning every deque.  **Owner only**:
+    /// stale-set bits (queues drained by thieves) are healed here, and only
+    /// the owner may clear bits — after it observed emptiness nobody but the
+    /// owner itself could have refilled the queue.
     fn lowest_nonempty_level(&self) -> Option<usize> {
-        self.queues.iter().position(|q| !q.is_empty())
+        let mut mask = self.occupancy.load(Ordering::Relaxed);
+        while let Some(level) = bits::lowest_set(mask) {
+            if !self.queues[level].is_empty() {
+                return Some(level);
+            }
+            self.occupancy.fetch_and(!(1usize << level), Ordering::Relaxed);
+            mask = bits::clear_bit(mask, level);
+        }
+        None
     }
 }
 
@@ -87,8 +147,11 @@ pub(crate) struct SchedulerShared {
     pub(crate) idle_sleep_cap: std::time::Duration,
     pub(crate) member_poll_sleep_cap: std::time::Duration,
     pub(crate) seed: u64,
-    /// External injection queue for root tasks submitted by `Scheduler::scope`.
-    pub(crate) injector: Mutex<VecDeque<TaskPtr>>,
+    /// External injection queue for root tasks submitted by
+    /// `Scheduler::scope`: a lock-free MPMC FIFO, so submitters never
+    /// serialize against each other or against idle workers polling for
+    /// work.
+    pub(crate) injector: Injector<TaskPtr>,
     pub(crate) shutdown: AtomicBool,
 }
 
@@ -107,7 +170,7 @@ impl SchedulerShared {
             idle_sleep_cap: config.idle_sleep_cap,
             member_poll_sleep_cap: config.member_poll_sleep_cap,
             seed: config.seed,
-            injector: Mutex::new(VecDeque::new()),
+            injector: Injector::new(),
             shutdown: AtomicBool::new(false),
         })
     }
@@ -116,12 +179,30 @@ impl SchedulerShared {
         self.workers.len()
     }
 
-    /// Injects a root task from outside the worker pool.
+    /// One-line state dump of every worker (registration word, coordinator,
+    /// start countdown, queue lengths) plus the injector length.  Lock-free;
+    /// shared by the stall reporter and `Scheduler::debug_state`.
+    pub(crate) fn debug_state_line(&self) -> String {
+        let mut line = format!("injector={}", self.injector.len());
+        for (i, w) in self.workers.iter().enumerate() {
+            let reg = w.reg.load();
+            let qlens: Vec<usize> = w.queues.iter().map(|q| q.len()).collect();
+            line.push_str(&format!(
+                " | w{i}: coord={} r={} a={} t={} n={} G={} q={qlens:?}",
+                w.coordinator.load(Ordering::Relaxed),
+                reg.required,
+                reg.acquired,
+                reg.teamed,
+                reg.counter,
+                w.start_countdown.load(Ordering::Relaxed),
+            ));
+        }
+        line
+    }
+
+    /// Injects a root task from outside the worker pool.  Lock-free.
     pub(crate) fn inject(&self, ptr: *mut TaskNode) {
-        self.injector
-            .lock()
-            .expect("injector poisoned")
-            .push_back(TaskPtr(ptr));
+        self.injector.push(TaskPtr(ptr));
     }
 
     /// Frees any task nodes still sitting in queues or the injector.  Called
@@ -129,24 +210,36 @@ impl SchedulerShared {
     /// scope was abandoned because a task panicked).
     pub(crate) fn drain_leftovers(&self) {
         let mut leftovers: Vec<TaskPtr> = Vec::new();
-        leftovers.extend(self.injector.lock().expect("injector poisoned").drain(..));
+        while let Some(task) = self.injector.pop() {
+            leftovers.push(task);
+        }
         for w in &self.workers {
             for q in &w.queues {
-                while let Some(ptr) = q.pop_bottom() {
-                    leftovers.push(ptr);
+                while let Some(word) = q.pop_bottom() {
+                    leftovers.push(TaskPtr(word as *mut TaskNode));
                 }
             }
         }
         for TaskPtr(ptr) in leftovers {
-            // SAFETY: the node was allocated by TaskNode::allocate and nobody
-            // else references it once it has been drained from the queue.
-            let node = unsafe { Box::from_raw(ptr) };
-            let scope = Arc::clone(&node.scope);
-            drop(node);
+            // SAFETY: nobody else references a node once it has been drained
+            // from a queue; the workers have all exited.
+            let scope = unsafe { Arc::clone(&(*ptr).scope) };
+            unsafe { TaskNode::release(ptr) };
             scope.task_finished();
         }
     }
 }
+
+/// Unproductive poll rounds after which a coordinator withdraws and
+/// re-announces its requirement (≈1.6 s at the default 200 µs poll-sleep
+/// cap).  Liveness backstop for the grow/shrink handshake; see
+/// `coordinate_level`.
+const COORDINATOR_RESYNC_ROUNDS: u32 = 8192;
+
+/// Unproductive poll rounds after which a registered-but-unteamed member
+/// deregisters and re-synchronizes from scratch (≈0.8 s).  Liveness backstop
+/// for a member that missed a registration update; see `member_step`.
+const MEMBER_RESYNC_ROUNDS: u32 = 4096;
 
 /// Outcome of one `pollPartners` round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -188,44 +281,34 @@ impl Worker {
         &self.shared.workers[self.id]
     }
 
-    /// `true` when the `TEAMSTEAL_STALL_DEBUG` environment variable is set:
-    /// long-running waits then print a one-line state dump of every worker at
-    /// exponentially spaced intervals, which is the intended way to diagnose
-    /// a scheduler that appears to make no progress.
+    /// `true` when the `TEAMSTEAL_STALL_DEBUG` environment variable is set
+    /// or [`enable_stall_debug`] was called: long-running waits then print a
+    /// one-line state dump of every worker at spaced intervals, which is the
+    /// intended way to diagnose a scheduler that appears to make no
+    /// progress.
     fn stall_debug_enabled() -> bool {
         static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
         *ENABLED.get_or_init(|| std::env::var_os("TEAMSTEAL_STALL_DEBUG").is_some())
+            || FORCE_STALL_DEBUG.load(Ordering::Acquire)
     }
 
     /// Prints the scheduler-wide state when a wait loop has gone around
-    /// `rounds` times without progress (only at rounds 512, 2048, 8192, …,
-    /// and only when stall debugging is enabled).
+    /// `rounds` times without progress — at rounds 512, 1024, 2048, … and,
+    /// so that dumps keep coming when the debug switch is flipped on *after*
+    /// a hang started, at every later multiple of 4096.  Only active when
+    /// stall debugging is enabled; the diagnostic path takes no locks.
     fn stall_report(&self, site: &str, rounds: u32) {
         if !Self::stall_debug_enabled() {
             return;
         }
-        if rounds < 512 || rounds.count_ones() != 1 {
+        if rounds < 512 || (rounds.count_ones() != 1 && rounds % 4096 != 0) {
             return;
         }
-        let mut line = format!(
-            "[teamsteal stall] worker {} at {site} after {rounds} rounds | injector={}",
+        eprintln!(
+            "[teamsteal stall] worker {} at {site} after {rounds} rounds | {}",
             self.id,
-            self.shared.injector.lock().map(|q| q.len()).unwrap_or(0)
+            self.shared.debug_state_line()
         );
-        for (i, w) in self.shared.workers.iter().enumerate() {
-            let reg = w.reg.load();
-            let qlens: Vec<usize> = w.queues.iter().map(|q| q.len()).collect();
-            line.push_str(&format!(
-                " | w{i}: coord={} r={} a={} t={} n={} G={} q={qlens:?}",
-                w.coordinator.load(Ordering::Relaxed),
-                reg.required,
-                reg.acquired,
-                reg.teamed,
-                reg.counter,
-                w.start_countdown.load(Ordering::Relaxed),
-            ));
-        }
-        eprintln!("{line}");
     }
 
     #[inline]
@@ -299,7 +382,7 @@ impl Worker {
             if self.me().reg.load().teamed > 1 {
                 self.release_team_if_any();
             }
-            if let Some(TaskPtr(ptr)) = self.me().queues[level].pop_bottom() {
+            if let Some(ptr) = self.me().pop_task(level) {
                 self.run_singleton(ptr);
             }
         } else {
@@ -335,13 +418,15 @@ impl Worker {
     }
 
     fn finish_node(&self, ptr: *mut TaskNode) {
-        // SAFETY: node is alive until the last participant decrements.
+        // SAFETY: node is alive until the last participant decrements.  The
+        // AcqRel makes every participant's job effects visible to the last
+        // one before the node is recycled or freed.
         let node = unsafe { &*ptr };
         if node.participants.fetch_sub(1, Ordering::AcqRel) == 1 {
-            // SAFETY: we are the last participant; nobody else will touch it.
-            let node = unsafe { Box::from_raw(ptr) };
             let scope = Arc::clone(&node.scope);
-            drop(node);
+            // SAFETY: we are the last participant; nobody else will touch
+            // it.  The node returns to its home arena (or the heap).
+            unsafe { TaskNode::release(ptr) };
             scope.task_finished();
         }
     }
@@ -416,8 +501,8 @@ impl Worker {
                     }
                 };
                 if ready {
-                    match self.me().queues[level].pop_bottom() {
-                        Some(TaskPtr(ptr)) => {
+                    match self.me().pop_task(level) {
+                        Some(ptr) => {
                             self.execute_team_task_as_coordinator(ptr, group.start, team_size);
                             backoff.reset();
                         }
@@ -430,6 +515,23 @@ impl Worker {
                 match self.poll_partners(me, team_size, level) {
                     PollOutcome::Switched | PollOutcome::Helped => return,
                     PollOutcome::Nothing => {
+                        // Liveness backstop (ROADMAP flake): if the team has
+                        // not completed for a long time, the acquired count
+                        // may have desynchronized from the members that are
+                        // actually polling us.  Withdraw the advertisement
+                        // and re-announce it under a fresh renewal counter,
+                        // forcing every registrant to re-register; any
+                        // correctly waiting member re-acquires within one
+                        // poll round, so the cost of a false positive is one
+                        // extra CAS per member.
+                        if backoff.rounds() >= COORDINATOR_RESYNC_ROUNDS
+                            && backoff.rounds() % COORDINATOR_RESYNC_ROUNDS == 0
+                            && !self.me().reg.load().has_team()
+                        {
+                            self.me().reg.disband();
+                            self.me().reg.push_requirement(team_size as u16);
+                            self.me().counters.inc_liveness_resyncs();
+                        }
                         self.stall_report("coordinate_level", backoff.rounds());
                         backoff.wait_capped(self.shared.member_poll_sleep_cap);
                     }
@@ -456,18 +558,34 @@ impl Worker {
 
         // The start countdown G (Section 3): all other members must pick the
         // task up before we may publish the next one or change the team.
+        // Relaxed suffices: the store is sequenced before the publication
+        // below, and members only decrement after acquire-observing the
+        // publication, so they always see the fresh countdown (DESIGN.md §9).
         self.me()
             .start_countdown
-            .store((team_size - 1) as u32, Ordering::SeqCst);
+            .store((team_size - 1) as u32, Ordering::Relaxed);
 
-        // Publication seqlock: odd while writing, even when stable.
+        // Publication seqlock: odd while writing, even when stable.  The
+        // ordering recipe is the standard atomic seqlock (DESIGN.md §9):
+        //
+        // * the odd store may be Relaxed — the release fence after it orders
+        //   it (and the node-field writes above) before the data stores, so
+        //   a reader that observes any of the new data and then acquires-
+        //   fences before re-reading the sequence is guaranteed to see the
+        //   odd value (or a later one) and discard the torn read;
+        // * the data stores may be Relaxed — a reader only trusts them after
+        //   both sequence reads returned the same even value;
+        // * the final store is Release — it pairs with the reader's initial
+        //   Acquire load, making the data (and the countdown and node
+        //   fields) visible to any reader that sees the new sequence.
         let seq = self.me().publish_seq.load(Ordering::Relaxed);
         debug_assert!(seq % 2 == 0);
-        self.me().publish_seq.store(seq + 1, Ordering::SeqCst);
-        self.me().publish_base.store(base, Ordering::SeqCst);
-        self.me().publish_size.store(team_size, Ordering::SeqCst);
-        self.me().publish_task.store(ptr, Ordering::SeqCst);
-        self.me().publish_seq.store(seq + 2, Ordering::SeqCst);
+        self.me().publish_seq.store(seq + 1, Ordering::Relaxed);
+        std::sync::atomic::fence(Ordering::Release);
+        self.me().publish_base.store(base, Ordering::Relaxed);
+        self.me().publish_size.store(team_size, Ordering::Relaxed);
+        self.me().publish_task.store(ptr, Ordering::Relaxed);
+        self.me().publish_seq.store(seq + 2, Ordering::Release);
 
         // Run our own share of the task.
         // SAFETY: barrier was just written by us.
@@ -492,6 +610,14 @@ impl Worker {
     fn wait_countdown_zero(&self) {
         let mut backoff = Backoff::new();
         while self.me().start_countdown.load(Ordering::Acquire) > 0 {
+            // Liveness: at shutdown, members may exit their run loop without
+            // picking up a published task (and thus without decrementing G).
+            // A coordinator spinning here forever would then deadlock the
+            // scheduler's drop-join.  Shutdown is only set after every scope
+            // has drained, so abandoning the wait cannot lose work.
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
             self.stall_report("wait_countdown", backoff.rounds());
             backoff.wait_capped(self.shared.member_poll_sleep_cap);
         }
@@ -559,7 +685,31 @@ impl Worker {
         let req_level = self.topo().level_for_requirement(cid, required);
         match self.poll_partners(cid, required, req_level) {
             PollOutcome::Switched | PollOutcome::Helped => backoff.reset(),
-            PollOutcome::Nothing => backoff.wait_capped(self.shared.member_poll_sleep_cap),
+            PollOutcome::Nothing => {
+                // Liveness backstop (ROADMAP flake): a member that has
+                // polled unproductively for a long time re-synchronizes from
+                // scratch — release the registration (never possible once
+                // teamed; the `Teamed` outcome keeps us in place) and fall
+                // back to the main loop, which re-discovers and re-registers
+                // with whoever still needs us.  This converts any missed
+                // registration/publication handshake into bounded extra
+                // work instead of an unbounded sleep-poll loop.
+                if backoff.rounds() >= MEMBER_RESYNC_ROUNDS {
+                    match self.shared.workers[cid]
+                        .reg
+                        .try_release(self.registered_counter[cid])
+                    {
+                        ReleaseOutcome::Teamed => {}
+                        ReleaseOutcome::Released | ReleaseOutcome::Revoked => {
+                            self.leave_coordinator();
+                            self.me().counters.inc_liveness_resyncs();
+                            backoff.reset();
+                            return;
+                        }
+                    }
+                }
+                backoff.wait_capped(self.shared.member_poll_sleep_cap);
+            }
         }
     }
 
@@ -569,10 +719,17 @@ impl Worker {
 
     /// Seqlock read of a coordinator's publication.  Returns a publication
     /// newer than what this worker has already handled, if any.
+    ///
+    /// Ordering (DESIGN.md §9): the initial Acquire pairs with the writer's
+    /// final Release store, so a matching even sequence guarantees the data
+    /// loads saw that publication's values; the Acquire fence before the
+    /// re-read pairs with the writer's Release fence, so a reader that
+    /// picked up any in-progress data is guaranteed to observe the odd (or
+    /// newer) sequence and discard it.
     fn read_publication(&self, cid: usize) -> Option<(*mut TaskNode, usize, usize, u64)> {
         let c = &self.shared.workers[cid];
         for _ in 0..8 {
-            let s1 = c.publish_seq.load(Ordering::SeqCst);
+            let s1 = c.publish_seq.load(Ordering::Acquire);
             if s1 % 2 == 1 {
                 std::hint::spin_loop();
                 continue;
@@ -580,10 +737,11 @@ impl Worker {
             if s1 == 0 || s1 <= self.last_seen_seq[cid] {
                 return None;
             }
-            let ptr = c.publish_task.load(Ordering::SeqCst);
-            let base = c.publish_base.load(Ordering::SeqCst);
-            let size = c.publish_size.load(Ordering::SeqCst);
-            let s2 = c.publish_seq.load(Ordering::SeqCst);
+            let ptr = c.publish_task.load(Ordering::Relaxed);
+            let base = c.publish_base.load(Ordering::Relaxed);
+            let size = c.publish_size.load(Ordering::Relaxed);
+            std::sync::atomic::fence(Ordering::Acquire);
+            let s2 = c.publish_seq.load(Ordering::Relaxed);
             if s1 == s2 {
                 return Some((ptr, base, size, s1));
             }
@@ -735,8 +893,10 @@ impl Worker {
         let c = &self.shared.workers[cid];
         // Record the publication sequence *before* registering so we never
         // run a task published before we joined (those teams were complete
-        // without us).
-        let mut seq0 = c.publish_seq.load(Ordering::SeqCst);
+        // without us).  Acquire: any publication whose team could include us
+        // must have been written after our registration CAS (completeness
+        // requires it), so it carries a strictly larger sequence.
+        let mut seq0 = c.publish_seq.load(Ordering::Acquire);
         if seq0 % 2 == 1 {
             seq0 += 1;
         }
@@ -825,12 +985,39 @@ impl Worker {
         if victim == me {
             return 0;
         }
-        let vqueues = &self.shared.workers[victim].queues;
-        let max_qlevel = max_qlevel.min(vqueues.len() - 1);
+        let vshared = &self.shared.workers[victim];
+        let max_qlevel = max_qlevel.min(vshared.queues.len() - 1);
+        // Occupancy hint: the victim sets a level's bit before pushing and
+        // clears it only after observing emptiness, so a clear bit means
+        // "empty" and the `top`/`bottom` loads of that deque can be skipped
+        // entirely.  (A set bit is only a hint; `len` decides.)
+        let occupancy = vshared.occupancy.load(Ordering::Relaxed);
+        // The queue level the victim is advertising a team requirement for,
+        // if any (its registration's `r` mapped onto its hierarchy position).
+        let vreg = vshared.reg.load();
+        let advertised_level = if vreg.required > 1 {
+            Some(self.topo().level_for_requirement(victim, vreg.required as usize))
+        } else {
+            None
+        };
         for qlevel in (0..=max_qlevel).rev() {
-            let vq = &vqueues[qlevel];
+            if !bits::bit_is_set(occupancy, qlevel) {
+                continue;
+            }
+            let vq = &vshared.queues[qlevel];
             let len = vq.len();
             if len == 0 {
+                continue;
+            }
+            // Liveness (ROADMAP flake): never steal the *single* team task a
+            // victim is actively building a team for.  Two hierarchy-partner
+            // coordinators can otherwise steal the task back and forth
+            // forever — each theft empties the other's queue mid-formation,
+            // disbands its half-built team and revokes its registrants, so
+            // no team ever forms (a stable livelock once queue operations
+            // got cheap).  With two or more tasks queued the steal is
+            // genuine load balancing and stays allowed.
+            if qlevel >= 1 && len == 1 && advertised_level == Some(qlevel) {
                 continue;
             }
             let want = self.shared.steal_amount.amount(len, amount_level);
@@ -838,11 +1025,12 @@ impl Worker {
             let mut retries = 0;
             while moved < want {
                 match vq.steal_top() {
-                    Steal::Stolen(TaskPtr(ptr)) => {
+                    Steal::Stolen(word) => {
+                        let ptr = word as *mut TaskNode;
                         // SAFETY: the node is alive while it sits in a queue.
                         let req = unsafe { (*ptr).requirement };
                         let mylevel = self.topo().level_for_requirement(me, req);
-                        self.shared.workers[me].queues[mylevel].push_bottom(TaskPtr(ptr));
+                        self.shared.workers[me].push_task(mylevel, ptr);
                         moved += 1;
                         retries = 0;
                     }
@@ -865,19 +1053,15 @@ impl Worker {
     }
 
     /// Pulls one externally injected root task into the local queue.
+    /// Lock-free: idle workers polling an empty injector never serialize.
     fn pop_injected(&mut self) -> bool {
-        let task = self
-            .shared
-            .injector
-            .lock()
-            .expect("injector poisoned")
-            .pop_front();
-        match task {
+        match self.shared.injector.pop() {
             Some(TaskPtr(ptr)) => {
                 // SAFETY: the node is alive while it sits in the injector.
                 let req = unsafe { (*ptr).requirement };
                 let level = self.topo().level_for_requirement(self.id, req);
-                self.me().queues[level].push_bottom(TaskPtr(ptr));
+                self.me().push_task(level, ptr);
+                self.me().counters.inc_tasks_injected();
                 if req > 1 {
                     let group = self.topo().group_size(self.id, level);
                     self.me().reg.push_requirement(group as u16);
@@ -890,10 +1074,30 @@ impl Worker {
 }
 
 impl SpawnTarget for Worker {
-    fn spawn_node(&self, node: *mut TaskNode, requirement: usize) {
+    fn spawn_job_slot(&self, job: JobSlot, requirement: usize, scope: &Arc<ScopeState>) {
+        scope.task_spawned();
+        let me = self.me();
+        // SAFETY: a worker is the sole allocator of its own arena, and
+        // `spawn_job_slot` only runs on the worker's own thread (tasks spawn
+        // through the context of the worker executing them).
+        let (ptr, recycled) = unsafe { me.node_pool.alloc() };
+        // SAFETY: the slot is uninitialized (fresh or recycled-after-drop);
+        // `home` points into the shared worker state, which outlives every
+        // node.
+        unsafe {
+            ptr.write(TaskNode::new_in(
+                job,
+                requirement,
+                Arc::clone(scope),
+                &me.node_pool as *const _,
+            ));
+        }
+        if recycled {
+            me.counters.inc_nodes_recycled();
+        }
         let level = self.topo().level_for_requirement(self.id, requirement);
-        self.me().queues[level].push_bottom(TaskPtr(node));
-        self.me().counters.inc_tasks_spawned();
+        me.push_task(level, ptr);
+        me.counters.inc_tasks_spawned();
         if requirement > 1 {
             // paper: the registration structure's `r` is updated whenever a
             // task is pushed to the bottom of a queue, so idle threads can
@@ -904,7 +1108,7 @@ impl SpawnTarget for Worker {
                  StealPolicy::UniformRandom supports only sequential tasks"
             );
             let group = self.topo().group_size(self.id, level);
-            self.me().reg.push_requirement(group as u16);
+            me.reg.push_requirement(group as u16);
         }
     }
 

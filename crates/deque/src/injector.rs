@@ -1,0 +1,462 @@
+//! A lock-free, unbounded MPMC injection queue.
+//!
+//! `Scheduler::scope` submits root tasks from *outside* the worker pool, and
+//! every idle worker polls for them.  The original implementation used a
+//! `Mutex<VecDeque>`, which serialized all submitters and all idle workers on
+//! one lock — and put a lock acquisition on the stall-reporting diagnostic
+//! path.  [`Injector`] replaces it with a segment-chained
+//! Michael–Scott-style FIFO:
+//!
+//! * **push** (any thread): one `fetch_add` reserves a global slot index, the
+//!   producer writes the value into its segment and flips the slot's state to
+//!   *written* with a release store.  Producers never block each other; a new
+//!   segment is allocated (and linked in with a CAS) once per
+//!   [`SEGMENT_SLOTS`] pushes.
+//! * **pop** (any thread): read the head index, check that the slot's
+//!   producer has finished writing, then claim the index with one CAS.  A
+//!   consumer never waits on a slow producer — it returns [`Steal::Retry`]
+//!   instead of spinning, so an idle worker just goes back to stealing.
+//!
+//! # Memory reclamation
+//!
+//! Like [`RawDeque`](crate::RawDeque)'s leaky-buffer growth, consumed
+//! segments are kept (linked) until the injector is dropped, so a racing
+//! reader holding a stale segment pointer can never touch freed memory.  The
+//! cost is [`std::mem::size_of`]`::<T>() + 16` bytes per *pushed element*
+//! lifetime-total, which for the scheduler (one pointer-sized entry per
+//! **root** task, not per spawned task) is negligible; a future epoch scheme
+//! can reclaim segments without changing the interface.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+use crate::Steal;
+
+/// Slots per segment.  Power of two so index→offset is a mask.
+pub const SEGMENT_SLOTS: usize = 64;
+
+/// Slot is empty (reserved, producer still writing).
+const EMPTY: usize = 0;
+/// Slot holds a value.
+const WRITTEN: usize = 1;
+
+struct Slot<T> {
+    state: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+struct Segment<T> {
+    /// Global index of the first slot of this segment.
+    start: usize,
+    slots: Box<[Slot<T>]>,
+    next: AtomicPtr<Segment<T>>,
+}
+
+impl<T> Segment<T> {
+    fn new(start: usize) -> *mut Segment<T> {
+        Box::into_raw(Box::new(Segment {
+            start,
+            slots: (0..SEGMENT_SLOTS)
+                .map(|_| Slot {
+                    state: AtomicUsize::new(EMPTY),
+                    value: UnsafeCell::new(MaybeUninit::uninit()),
+                })
+                .collect(),
+            next: AtomicPtr::new(std::ptr::null_mut()),
+        }))
+    }
+
+    #[inline]
+    fn slot(&self, index: usize) -> &Slot<T> {
+        debug_assert!(index >= self.start && index < self.start + SEGMENT_SLOTS);
+        &self.slots[index & (SEGMENT_SLOTS - 1)]
+    }
+}
+
+/// An unbounded lock-free multi-producer multi-consumer FIFO queue.
+///
+/// See the [module docs](self) for the design; the scheduler uses it as the
+/// external root-task injection queue.
+pub struct Injector<T> {
+    /// Next index to consume.  `head <= tail` always.
+    head: AtomicUsize,
+    /// Next index to produce (indices below `tail` are reserved).
+    tail: AtomicUsize,
+    /// Hint: a segment at or before the one containing `head`.
+    head_seg: AtomicPtr<Segment<T>>,
+    /// Hint: a segment at or before the one containing `tail`.
+    tail_seg: AtomicPtr<Segment<T>>,
+    /// The first segment ever allocated; segments are never unlinked, so the
+    /// whole chain is reachable (and freed) from here at drop time.
+    first_seg: *mut Segment<T>,
+}
+
+// SAFETY: all shared state is accessed through atomics; values are moved in
+// and out under the slot-state / index-claim protocol below.
+unsafe impl<T: Send> Send for Injector<T> {}
+unsafe impl<T: Send> Sync for Injector<T> {}
+
+impl<T: Send> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Send> Injector<T> {
+    /// Creates an empty injector (allocates the first segment).
+    pub fn new() -> Self {
+        let first = Segment::new(0);
+        Injector {
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            head_seg: AtomicPtr::new(first),
+            tail_seg: AtomicPtr::new(first),
+            first_seg: first,
+        }
+    }
+
+    /// Snapshot of the number of queued elements.  Like the deque's `len`,
+    /// the value may be stale by the time the caller acts on it.  Lock-free:
+    /// safe to call from diagnostic paths (stall reports).
+    pub fn len(&self) -> usize {
+        let tail = self.tail.load(Ordering::Acquire);
+        let head = self.head.load(Ordering::Acquire);
+        tail.saturating_sub(head)
+    }
+
+    /// `true` if the queue was observed empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Finds the segment containing `index`, walking (and extending) the
+    /// chain from `from`.  `index` must be a reserved slot index and `from`
+    /// must start at or before it.
+    fn segment_for(&self, mut from: *mut Segment<T>, index: usize, extend: bool) -> Option<*mut Segment<T>> {
+        loop {
+            // SAFETY: segments are never freed while the injector is alive.
+            let seg = unsafe { &*from };
+            debug_assert!(seg.start <= index);
+            if index < seg.start + SEGMENT_SLOTS {
+                return Some(from);
+            }
+            let next = seg.next.load(Ordering::Acquire);
+            if !next.is_null() {
+                from = next;
+                continue;
+            }
+            if !extend {
+                // The producer that reserved `index` has not linked the
+                // segment yet; the caller treats this as transient.
+                return None;
+            }
+            let candidate = Segment::new(seg.start + SEGMENT_SLOTS);
+            match seg.next.compare_exchange(
+                std::ptr::null_mut(),
+                candidate,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => from = candidate,
+                Err(winner) => {
+                    // SAFETY: the candidate was never published.
+                    drop(unsafe { Box::from_raw(candidate) });
+                    from = winner;
+                }
+            }
+        }
+    }
+
+    /// Advances a segment hint pointer to `to` if it still lags behind.
+    fn advance_hint(hint: &AtomicPtr<Segment<T>>, current: *mut Segment<T>, to: *mut Segment<T>) {
+        // Best effort: a failed CAS means someone else advanced it further.
+        let _ = hint.compare_exchange(current, to, Ordering::AcqRel, Ordering::Relaxed);
+    }
+
+    /// Enqueues a value.  Safe to call from any thread; never blocks on
+    /// other producers or consumers (segment allocation aside, the push is a
+    /// `fetch_add` plus a release store).
+    pub fn push(&self, value: T) {
+        let index = self.tail.fetch_add(1, Ordering::AcqRel);
+        let mut hint = self.tail_seg.load(Ordering::Acquire);
+        // SAFETY: hints only ever point at live (never-freed) segments.
+        // Faster producers may have advanced the tail hint *past* our slot;
+        // fall back to the head hint, which cannot pass an unwritten slot
+        // (consumers stop at it), so it starts at or before `index`.
+        if unsafe { &*hint }.start > index {
+            hint = self.head_seg.load(Ordering::Acquire);
+        }
+        let seg_ptr = self
+            .segment_for(hint, index, true)
+            .expect("extend=true always finds the segment");
+        if seg_ptr != hint {
+            Self::advance_hint(&self.tail_seg, hint, seg_ptr);
+        }
+        // SAFETY: segments are never freed while the injector is alive.
+        let seg = unsafe { &*seg_ptr };
+        let slot = seg.slot(index);
+        debug_assert_eq!(slot.state.load(Ordering::Relaxed), EMPTY);
+        // SAFETY: the fetch_add above gave us exclusive ownership of this
+        // slot until we flip its state.
+        unsafe { (*slot.value.get()).write(value) };
+        // Release: consumers that acquire-observe WRITTEN see the value.
+        slot.state.store(WRITTEN, Ordering::Release);
+    }
+
+    /// Attempts to dequeue the oldest element.  Safe to call from any
+    /// thread.
+    ///
+    /// [`Steal::Retry`] means the queue is non-empty but the head element's
+    /// producer has not finished writing (or another consumer got in the
+    /// way); the caller may retry immediately or come back later.
+    pub fn try_pop(&self) -> Steal<T> {
+        loop {
+            let head = self.head.load(Ordering::Acquire);
+            let tail = self.tail.load(Ordering::Acquire);
+            if head >= tail {
+                return Steal::Empty;
+            }
+            let hint = self.head_seg.load(Ordering::Acquire);
+            // SAFETY: hints point at live segments.  If the hint has already
+            // moved past our (stale) `head`, other consumers advanced the
+            // queue under us — re-read everything.
+            if unsafe { &*hint }.start > head {
+                continue;
+            }
+            // `head < tail` means slot `head` was reserved — though its
+            // segment may not be linked in yet.
+            let Some(seg_ptr) = self.segment_for(hint, head, false) else {
+                return Steal::Retry;
+            };
+            let seg = unsafe { &*seg_ptr };
+            let slot = seg.slot(head);
+            if slot.state.load(Ordering::Acquire) != WRITTEN {
+                // Reserved but not yet written: do not wait on the producer.
+                return Steal::Retry;
+            }
+            if self
+                .head
+                .compare_exchange(head, head + 1, Ordering::AcqRel, Ordering::Relaxed)
+                .is_err()
+            {
+                // Another consumer claimed this index; try the next one.
+                continue;
+            }
+            // We own index `head` exclusively now, and we observed WRITTEN
+            // with Acquire before claiming it.
+            // SAFETY: exactly one consumer claims each index.
+            let value = unsafe { (*slot.value.get()).assume_init_read() };
+            if head + 1 == seg.start + SEGMENT_SLOTS {
+                // We consumed the last slot of this segment: advance the
+                // head hint so later pops skip the walk.  The expected value
+                // is the hint we actually loaded, so a lagging hint still
+                // jumps forward.
+                let next = seg.next.load(Ordering::Acquire);
+                if !next.is_null() {
+                    Self::advance_hint(&self.head_seg, hint, next);
+                }
+            }
+            return Steal::Stolen(value);
+        }
+    }
+
+    /// Dequeues the oldest element, retrying through transient
+    /// [`Steal::Retry`] results a bounded number of times.
+    pub fn pop(&self) -> Option<T> {
+        let mut retries = 0;
+        loop {
+            match self.try_pop() {
+                Steal::Stolen(v) => return Some(v),
+                Steal::Empty => return None,
+                Steal::Retry => {
+                    retries += 1;
+                    if retries > 32 {
+                        return None;
+                    }
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+}
+
+impl<T> Drop for Injector<T> {
+    fn drop(&mut self) {
+        // `&mut self`: no concurrent producers or consumers.  Drop the
+        // values still in [head, tail), then free the whole segment chain.
+        let head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        let mut seg_ptr = self.first_seg;
+        while !seg_ptr.is_null() {
+            // SAFETY: the chain is only freed here, exactly once.
+            let seg = unsafe { Box::from_raw(seg_ptr) };
+            for index in seg.start..seg.start + SEGMENT_SLOTS {
+                if index >= head && index < tail && seg.slot(index).state.load(Ordering::Relaxed) == WRITTEN
+                {
+                    // SAFETY: unclaimed, fully written slot; dropped once.
+                    unsafe { (*seg.slot(index).value.get()).assume_init_drop() };
+                }
+            }
+            seg_ptr = seg.next.load(Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize as StdAtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_single_threaded() {
+        let q: Injector<u32> = Injector::new();
+        assert!(q.is_empty());
+        assert!(matches!(q.try_pop(), Steal::Empty));
+        for i in 0..200 {
+            q.push(i);
+        }
+        assert_eq!(q.len(), 200);
+        for i in 0..200 {
+            assert_eq!(q.pop(), Some(i), "strict FIFO order");
+        }
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn crosses_many_segment_boundaries() {
+        let q: Injector<usize> = Injector::new();
+        let n = 10 * SEGMENT_SLOTS + 7;
+        for i in 0..n {
+            q.push(i);
+        }
+        for i in 0..n {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drop_releases_queued_elements() {
+        static DROPS: StdAtomicUsize = StdAtomicUsize::new(0);
+        struct Token;
+        impl Drop for Token {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let q: Injector<Token> = Injector::new();
+            for _ in 0..(SEGMENT_SLOTS + 9) {
+                q.push(Token);
+            }
+            for _ in 0..5 {
+                let _ = q.pop();
+            }
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), SEGMENT_SLOTS + 9);
+    }
+
+    #[test]
+    fn mpmc_delivers_every_element_exactly_once() {
+        const PRODUCERS: usize = 4;
+        const CONSUMERS: usize = 4;
+        const PER_PRODUCER: usize = 20_000;
+        let q: Arc<Injector<usize>> = Arc::new(Injector::new());
+        let seen = Arc::new(
+            (0..PRODUCERS * PER_PRODUCER)
+                .map(|_| StdAtomicUsize::new(0))
+                .collect::<Vec<_>>(),
+        );
+
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        q.push(p * PER_PRODUCER + i);
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..CONSUMERS)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let seen = Arc::clone(&seen);
+                std::thread::spawn(move || {
+                    let mut taken = 0usize;
+                    let mut idle = 0u32;
+                    loop {
+                        match q.try_pop() {
+                            Steal::Stolen(v) => {
+                                seen[v].fetch_add(1, Ordering::SeqCst);
+                                taken += 1;
+                                idle = 0;
+                            }
+                            Steal::Retry => {}
+                            Steal::Empty => {
+                                idle += 1;
+                                if idle > 20_000 {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    taken
+                })
+            })
+            .collect();
+        for producer in producers {
+            producer.join().unwrap();
+        }
+        let taken: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(taken, PRODUCERS * PER_PRODUCER, "every element delivered");
+        for (i, s) in seen.iter().enumerate() {
+            assert_eq!(s.load(Ordering::SeqCst), 1, "element {i} delivered exactly once");
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn per_producer_order_is_preserved() {
+        // FIFO per producer: a consumer never sees producer p's element k
+        // after its element k+1.
+        const PER_PRODUCER: usize = 30_000;
+        let q: Arc<Injector<(usize, usize)>> = Arc::new(Injector::new());
+        let producers: Vec<_> = (0..2)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        q.push((p, i));
+                    }
+                })
+            })
+            .collect();
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut last = [None::<usize>; 2];
+                let mut taken = 0;
+                while taken < 2 * PER_PRODUCER {
+                    if let Steal::Stolen((p, i)) = q.try_pop() {
+                        if let Some(prev) = last[p] {
+                            assert!(i > prev, "producer {p} reordered: {i} after {prev}");
+                        }
+                        last[p] = Some(i);
+                        taken += 1;
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            })
+        };
+        for producer in producers {
+            producer.join().unwrap();
+        }
+        consumer.join().unwrap();
+    }
+}

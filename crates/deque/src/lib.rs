@@ -16,6 +16,10 @@
 //!   the paper's API, including [`Deque::steal_half_into`] (the paper's
 //!   `popappend`: transfer up to half of the victim's tasks to the thief).
 //!
+//! The crate also provides [`Injector`], a lock-free unbounded MPMC FIFO the
+//! scheduler uses as its external root-task injection queue (see the
+//! [`injector`] module docs for the design).
+//!
 //! # Ownership protocol
 //!
 //! A deque is shared between its **owner** (the worker whose queue it is) and
@@ -36,6 +40,10 @@
 
 use std::sync::atomic::{AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+pub mod injector;
+
+pub use injector::Injector;
 
 /// Result of a steal attempt (`popTop`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -140,6 +140,46 @@ pub fn overlap(a: usize, b: usize, team_size: usize) -> bool {
     team_base(a, team_size) == team_base(b, team_size)
 }
 
+/// Index of the lowest set bit of `mask`, if any.
+///
+/// The scheduler keeps a per-worker *occupancy bitmask* with one bit per
+/// queue level; finding the lowest non-empty level is then one
+/// `trailing_zeros` instead of a scan over every deque's `top`/`bottom`
+/// pair.
+///
+/// ```
+/// use teamsteal_util::bits::lowest_set;
+/// assert_eq!(lowest_set(0), None);
+/// assert_eq!(lowest_set(0b1000), Some(3));
+/// assert_eq!(lowest_set(0b1010), Some(1));
+/// ```
+#[inline]
+pub fn lowest_set(mask: usize) -> Option<usize> {
+    if mask == 0 {
+        None
+    } else {
+        Some(mask.trailing_zeros() as usize)
+    }
+}
+
+/// `mask` with bit `bit` cleared.
+///
+/// ```
+/// use teamsteal_util::bits::clear_bit;
+/// assert_eq!(clear_bit(0b1011, 1), 0b1001);
+/// assert_eq!(clear_bit(0b1001, 2), 0b1001);
+/// ```
+#[inline]
+pub fn clear_bit(mask: usize, bit: usize) -> usize {
+    mask & !(1usize << bit)
+}
+
+/// `true` if bit `bit` of `mask` is set.
+#[inline]
+pub fn bit_is_set(mask: usize, bit: usize) -> bool {
+    mask & (1usize << bit) != 0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,6 +248,21 @@ mod tests {
                 assert_eq!(local_id(id, r), id - base);
             }
         }
+    }
+
+    #[test]
+    fn occupancy_mask_helpers() {
+        let mut mask = 0usize;
+        assert_eq!(lowest_set(mask), None);
+        mask |= 1 << 5;
+        mask |= 1 << 2;
+        assert!(bit_is_set(mask, 2) && bit_is_set(mask, 5));
+        assert!(!bit_is_set(mask, 3));
+        assert_eq!(lowest_set(mask), Some(2));
+        mask = clear_bit(mask, 2);
+        assert_eq!(lowest_set(mask), Some(5));
+        mask = clear_bit(mask, 5);
+        assert_eq!(lowest_set(mask), None);
     }
 
     proptest! {

@@ -13,7 +13,10 @@
 //!   Refinement 4) and for the benchmark input generators,
 //! * [`bits`] — the bit manipulation helpers the paper relies on
 //!   (most-significant-bit / `bsrl`, power-of-two rounding, partner id
-//!   bit-flipping),
+//!   bit-flipping) plus the occupancy-bitmask helpers of the scheduler's
+//!   queue scan,
+//! * [`slab`] — a recycling slab allocator with an intrusive lock-free free
+//!   list, used for the per-worker task-node arenas,
 //! * [`timing`] — monotonic timers and simple statistics used by the
 //!   benchmark harness.
 
@@ -24,6 +27,7 @@ pub mod backoff;
 pub mod bits;
 pub mod rng;
 pub mod sendptr;
+pub mod slab;
 pub mod timing;
 
 pub use backoff::Backoff;

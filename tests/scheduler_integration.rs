@@ -7,6 +7,9 @@ use std::sync::Arc;
 
 use teamsteal::{Scheduler, StealPolicy};
 
+mod common;
+use common::{with_watchdog, WATCHDOG};
+
 fn counter() -> Arc<AtomicUsize> {
     Arc::new(AtomicUsize::new(0))
 }
@@ -16,100 +19,109 @@ fn many_small_teams_in_sequence() {
     // Team reuse: the same coordinator keeps publishing same-size tasks; the
     // paper's protocol requires no further coordination after the first
     // formation.  All tasks must run on every member exactly once.
-    let scheduler = Scheduler::with_threads(4);
-    let runs = counter();
-    let rounds = 50;
-    {
-        let runs = Arc::clone(&runs);
-        scheduler.scope(|scope| {
-            for _ in 0..rounds {
-                let runs = Arc::clone(&runs);
-                scope.spawn_team(2, move |ctx| {
-                    runs.fetch_add(1, Ordering::Relaxed);
-                    ctx.barrier();
-                });
-            }
-        });
-    }
-    assert_eq!(runs.load(Ordering::Relaxed), rounds * 2);
+    with_watchdog("many_small_teams_in_sequence", WATCHDOG, || {
+        let scheduler = Scheduler::with_threads(4);
+        let runs = counter();
+        let rounds = 50;
+        {
+            let runs = Arc::clone(&runs);
+            scheduler.scope(|scope| {
+                for _ in 0..rounds {
+                    let runs = Arc::clone(&runs);
+                    scope.spawn_team(2, move |ctx| {
+                        runs.fetch_add(1, Ordering::Relaxed);
+                        ctx.barrier();
+                    });
+                }
+            });
+        }
+        assert_eq!(runs.load(Ordering::Relaxed), rounds * 2);
+    });
 }
 
 #[test]
 fn alternating_team_sizes_grow_and_shrink() {
     // Alternating 2- and 4-thread tasks force the coordinator to grow and
-    // shrink/rebuild teams repeatedly (Section 3.1).
-    let scheduler = Scheduler::with_threads(4);
-    let small_runs = counter();
-    let large_runs = counter();
-    {
-        let small_runs = Arc::clone(&small_runs);
-        let large_runs = Arc::clone(&large_runs);
-        scheduler.scope(|scope| {
-            for i in 0..30 {
-                if i % 2 == 0 {
-                    let c = Arc::clone(&small_runs);
-                    scope.spawn_team(2, move |ctx| {
-                        c.fetch_add(1, Ordering::Relaxed);
-                        ctx.barrier();
-                    });
-                } else {
-                    let c = Arc::clone(&large_runs);
-                    scope.spawn_team(4, move |ctx| {
-                        c.fetch_add(1, Ordering::Relaxed);
-                        ctx.barrier();
-                    });
-                }
-            }
-        });
-    }
-    assert_eq!(small_runs.load(Ordering::Relaxed), 15 * 2);
-    assert_eq!(large_runs.load(Ordering::Relaxed), 15 * 4);
-}
-
-#[test]
-fn mixed_sequential_and_team_tasks() {
-    // The motivating scenario: data-parallel tasks and ordinary tasks share
-    // one scheduler; everything completes and nothing runs twice.
-    let scheduler = Scheduler::with_threads(8);
-    let solo = counter();
-    let team2 = counter();
-    let team8 = counter();
-    {
-        let solo = Arc::clone(&solo);
-        let team2 = Arc::clone(&team2);
-        let team8 = Arc::clone(&team8);
-        scheduler.scope(|scope| {
-            for i in 0..120 {
-                match i % 6 {
-                    0 => {
-                        let c = Arc::clone(&team2);
+    // shrink/rebuild teams repeatedly (Section 3.1).  This is the scenario
+    // of the ROADMAP liveness flake, so it runs under the watchdog: a lost
+    // wakeup or steal ping-pong is a fast failure with a state dump, not a
+    // 40-minute silent hang.
+    with_watchdog("alternating_team_sizes_grow_and_shrink", WATCHDOG, || {
+        let scheduler = Scheduler::with_threads(4);
+        let small_runs = counter();
+        let large_runs = counter();
+        {
+            let small_runs = Arc::clone(&small_runs);
+            let large_runs = Arc::clone(&large_runs);
+            scheduler.scope(|scope| {
+                for i in 0..30 {
+                    if i % 2 == 0 {
+                        let c = Arc::clone(&small_runs);
                         scope.spawn_team(2, move |ctx| {
                             c.fetch_add(1, Ordering::Relaxed);
                             ctx.barrier();
                         });
-                    }
-                    1 => {
-                        let c = Arc::clone(&team8);
-                        scope.spawn_team(8, move |ctx| {
+                    } else {
+                        let c = Arc::clone(&large_runs);
+                        scope.spawn_team(4, move |ctx| {
                             c.fetch_add(1, Ordering::Relaxed);
                             ctx.barrier();
                         });
                     }
-                    _ => {
-                        let c = Arc::clone(&solo);
-                        scope.spawn(move |_| {
-                            c.fetch_add(1, Ordering::Relaxed);
-                        });
+                }
+            });
+        }
+        assert_eq!(small_runs.load(Ordering::Relaxed), 15 * 2);
+        assert_eq!(large_runs.load(Ordering::Relaxed), 15 * 4);
+    });
+}
+
+#[test]
+fn mixed_sequential_and_team_tasks() {
+    with_watchdog("mixed_sequential_and_team_tasks", WATCHDOG, || {
+        // The motivating scenario: data-parallel tasks and ordinary tasks share
+        // one scheduler; everything completes and nothing runs twice.
+        let scheduler = Scheduler::with_threads(8);
+        let solo = counter();
+        let team2 = counter();
+        let team8 = counter();
+        {
+            let solo = Arc::clone(&solo);
+            let team2 = Arc::clone(&team2);
+            let team8 = Arc::clone(&team8);
+            scheduler.scope(|scope| {
+                for i in 0..120 {
+                    match i % 6 {
+                        0 => {
+                            let c = Arc::clone(&team2);
+                            scope.spawn_team(2, move |ctx| {
+                                c.fetch_add(1, Ordering::Relaxed);
+                                ctx.barrier();
+                            });
+                        }
+                        1 => {
+                            let c = Arc::clone(&team8);
+                            scope.spawn_team(8, move |ctx| {
+                                c.fetch_add(1, Ordering::Relaxed);
+                                ctx.barrier();
+                            });
+                        }
+                        _ => {
+                            let c = Arc::clone(&solo);
+                            scope.spawn(move |_| {
+                                c.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
                     }
                 }
-            }
-        });
-    }
-    assert_eq!(solo.load(Ordering::Relaxed), 80);
-    assert_eq!(team2.load(Ordering::Relaxed), 20 * 2);
-    assert_eq!(team8.load(Ordering::Relaxed), 20 * 8);
-    let m = scheduler.metrics();
-    assert!(m.teams_formed > 0);
+            });
+        }
+        assert_eq!(solo.load(Ordering::Relaxed), 80);
+        assert_eq!(team2.load(Ordering::Relaxed), 20 * 2);
+        assert_eq!(team8.load(Ordering::Relaxed), 20 * 8);
+        let m = scheduler.metrics();
+        assert!(m.teams_formed > 0);
+    });
 }
 
 #[test]
@@ -199,29 +211,31 @@ fn nested_team_spawns_from_local_id_zero() {
 
 #[test]
 fn oversubscribed_scheduler_still_completes() {
-    // 16 workers on (almost certainly) fewer hardware threads: teams must
-    // still form thanks to the yielding backoff.
-    let scheduler = Scheduler::with_threads(16);
-    let runs = counter();
-    {
-        let runs = Arc::clone(&runs);
-        scheduler.scope(|scope| {
-            for _ in 0..5 {
-                let c = Arc::clone(&runs);
-                scope.spawn_team(16, move |ctx| {
-                    c.fetch_add(1, Ordering::Relaxed);
-                    ctx.barrier();
-                });
-            }
-            for _ in 0..50 {
-                let c = Arc::clone(&runs);
-                scope.spawn(move |_| {
-                    c.fetch_add(1, Ordering::Relaxed);
-                });
-            }
-        });
-    }
-    assert_eq!(runs.load(Ordering::Relaxed), 5 * 16 + 50);
+    with_watchdog("oversubscribed_scheduler_still_completes", WATCHDOG, || {
+        // 16 workers on (almost certainly) fewer hardware threads: teams must
+        // still form thanks to the yielding backoff.
+        let scheduler = Scheduler::with_threads(16);
+        let runs = counter();
+        {
+            let runs = Arc::clone(&runs);
+            scheduler.scope(|scope| {
+                for _ in 0..5 {
+                    let c = Arc::clone(&runs);
+                    scope.spawn_team(16, move |ctx| {
+                        c.fetch_add(1, Ordering::Relaxed);
+                        ctx.barrier();
+                    });
+                }
+                for _ in 0..50 {
+                    let c = Arc::clone(&runs);
+                    scope.spawn(move |_| {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+        assert_eq!(runs.load(Ordering::Relaxed), 5 * 16 + 50);
+    });
 }
 
 #[test]

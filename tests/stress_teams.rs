@@ -11,48 +11,55 @@ use std::sync::Arc;
 
 use teamsteal::{Scheduler, StealPolicy};
 
+mod common;
+use common::{with_watchdog, WATCHDOG};
+
 /// Many consecutive small team tasks: the team for a given size should be
 /// rebuilt or reused without ever losing a member execution.
 #[test]
 fn rapid_fire_small_teams() {
-    let scheduler = Scheduler::with_threads(4);
-    let hits = Arc::new(AtomicUsize::new(0));
-    const ROUNDS: usize = 30;
-    for _ in 0..ROUNDS {
-        let hits = Arc::clone(&hits);
-        scheduler.run_team(2, move |ctx| {
-            hits.fetch_add(1, Ordering::Relaxed);
-            ctx.barrier();
-        });
-    }
-    assert_eq!(hits.load(Ordering::Relaxed), 2 * ROUNDS);
+    with_watchdog("rapid_fire_small_teams", WATCHDOG, || {
+        let scheduler = Scheduler::with_threads(4);
+        let hits = Arc::new(AtomicUsize::new(0));
+        const ROUNDS: usize = 30;
+        for _ in 0..ROUNDS {
+            let hits = Arc::clone(&hits);
+            scheduler.run_team(2, move |ctx| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                ctx.barrier();
+            });
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 2 * ROUNDS);
+    });
 }
 
 /// Alternating team sizes force the coordinator to shrink and rebuild teams
 /// (same size ⇒ reuse, smaller ⇒ shrink, larger ⇒ disband + rebuild).
 #[test]
 fn oscillating_team_sizes() {
-    let scheduler = Scheduler::with_threads(4);
-    let total = Arc::new(AtomicUsize::new(0));
-    let sizes = [2usize, 4, 2, 1, 4, 1, 2, 4];
-    scheduler.scope(|scope| {
-        for &r in &sizes {
-            let total = Arc::clone(&total);
-            if r == 1 {
-                scope.spawn(move |_| {
-                    total.fetch_add(1, Ordering::Relaxed);
-                });
-            } else {
-                scope.spawn_team(r, move |ctx| {
-                    assert!(ctx.team_size() >= ctx.requested_threads());
-                    total.fetch_add(1, Ordering::Relaxed);
-                    ctx.barrier();
-                });
+    with_watchdog("oscillating_team_sizes", WATCHDOG, || {
+        let scheduler = Scheduler::with_threads(4);
+        let total = Arc::new(AtomicUsize::new(0));
+        let sizes = [2usize, 4, 2, 1, 4, 1, 2, 4];
+        scheduler.scope(|scope| {
+            for &r in &sizes {
+                let total = Arc::clone(&total);
+                if r == 1 {
+                    scope.spawn(move |_| {
+                        total.fetch_add(1, Ordering::Relaxed);
+                    });
+                } else {
+                    scope.spawn_team(r, move |ctx| {
+                        assert!(ctx.team_size() >= ctx.requested_threads());
+                        total.fetch_add(1, Ordering::Relaxed);
+                        ctx.barrier();
+                    });
+                }
             }
-        }
+        });
+        let expected: usize = sizes.iter().sum();
+        assert_eq!(total.load(Ordering::Relaxed), expected);
     });
-    let expected: usize = sizes.iter().sum();
-    assert_eq!(total.load(Ordering::Relaxed), expected);
 }
 
 /// Team members spawning further work from inside the team task: spawned
@@ -102,26 +109,28 @@ fn nested_team_tasks_from_leader() {
 /// complete, just slower.
 #[test]
 fn oversubscribed_scheduler_completes() {
-    let scheduler = Scheduler::with_threads(8);
-    let hits = Arc::new(AtomicUsize::new(0));
-    let h = Arc::clone(&hits);
-    scheduler.run_team(8, move |ctx| {
-        h.fetch_add(1, Ordering::Relaxed);
-        ctx.barrier();
-    });
-    assert_eq!(hits.load(Ordering::Relaxed), 8);
+    with_watchdog("oversubscribed_scheduler_completes", WATCHDOG, || {
+        let scheduler = Scheduler::with_threads(8);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        scheduler.run_team(8, move |ctx| {
+            h.fetch_add(1, Ordering::Relaxed);
+            ctx.barrier();
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
 
-    let counter = Arc::new(AtomicUsize::new(0));
-    let c = Arc::clone(&counter);
-    scheduler.scope(|scope| {
-        for _ in 0..150 {
-            let c = Arc::clone(&c);
-            scope.spawn(move |_| {
-                c.fetch_add(1, Ordering::Relaxed);
-            });
-        }
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        scheduler.scope(|scope| {
+            for _ in 0..150 {
+                let c = Arc::clone(&c);
+                scope.spawn(move |_| {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 150);
     });
-    assert_eq!(counter.load(Ordering::Relaxed), 150);
 }
 
 /// Empty scopes, scopes returning values, and repeated reuse of one
@@ -164,59 +173,63 @@ fn panicking_team_task_propagates_and_scheduler_survives() {
 /// exercises stealing heavily without any team machinery.
 #[test]
 fn task_storm_with_randomized_stealing() {
-    let scheduler = Scheduler::builder()
-        .threads(4)
-        .steal_policy(StealPolicy::RandomizedWithinLevel)
-        .seed(0xFEED)
-        .build();
-    let counter = Arc::new(AtomicUsize::new(0));
-    let c = Arc::clone(&counter);
-    scheduler.scope(|scope| {
-        for _ in 0..8 {
-            let c = Arc::clone(&c);
-            scope.spawn(move |ctx| {
-                for _ in 0..48 {
-                    let c = Arc::clone(&c);
-                    ctx.spawn(move |_| {
-                        c.fetch_add(1, Ordering::Relaxed);
-                    });
-                }
-            });
-        }
+    with_watchdog("task_storm_with_randomized_stealing", WATCHDOG, || {
+        let scheduler = Scheduler::builder()
+            .threads(4)
+            .steal_policy(StealPolicy::RandomizedWithinLevel)
+            .seed(0xFEED)
+            .build();
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        scheduler.scope(|scope| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                scope.spawn(move |ctx| {
+                    for _ in 0..48 {
+                        let c = Arc::clone(&c);
+                        ctx.spawn(move |_| {
+                            c.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8 * 48);
+        let m = scheduler.metrics();
+        assert_eq!(m.teams_formed, 0, "r = 1 storms must not touch team machinery");
+        assert!(m.total_executions() >= 8 * 48);
     });
-    assert_eq!(counter.load(Ordering::Relaxed), 8 * 48);
-    let m = scheduler.metrics();
-    assert_eq!(m.teams_formed, 0, "r = 1 storms must not touch team machinery");
-    assert!(m.total_executions() >= 8 * 48);
 }
 
 /// Full-machine teams built repeatedly while sequential stragglers are in
 /// flight: large teams must still form (Lemma 1: every task eventually runs).
 #[test]
 fn full_machine_teams_with_straggler_tasks() {
-    let scheduler = Scheduler::with_threads(4);
-    let team_hits = Arc::new(AtomicUsize::new(0));
-    let seq_hits = Arc::new(AtomicUsize::new(0));
-    scheduler.scope(|scope| {
-        for i in 0..6 {
-            let seq_hits = Arc::clone(&seq_hits);
-            scope.spawn(move |_| {
-                // A little uneven busy work so workers become idle at
-                // different times while the full-machine team is pending.
-                let mut acc = 0u64;
-                for k in 0..(i + 1) * 4_000 {
-                    acc = acc.wrapping_add(k as u64).rotate_left(7);
-                }
-                assert!(acc != 1);
-                seq_hits.fetch_add(1, Ordering::Relaxed);
+    with_watchdog("full_machine_teams_with_straggler_tasks", WATCHDOG, || {
+        let scheduler = Scheduler::with_threads(4);
+        let team_hits = Arc::new(AtomicUsize::new(0));
+        let seq_hits = Arc::new(AtomicUsize::new(0));
+        scheduler.scope(|scope| {
+            for i in 0..6 {
+                let seq_hits = Arc::clone(&seq_hits);
+                scope.spawn(move |_| {
+                    // A little uneven busy work so workers become idle at
+                    // different times while the full-machine team is pending.
+                    let mut acc = 0u64;
+                    for k in 0..(i + 1) * 4_000 {
+                        acc = acc.wrapping_add(k as u64).rotate_left(7);
+                    }
+                    assert!(acc != 1);
+                    seq_hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            let team_hits = Arc::clone(&team_hits);
+            scope.spawn_team(4, move |ctx| {
+                team_hits.fetch_add(1, Ordering::Relaxed);
+                ctx.barrier();
             });
-        }
-        let team_hits = Arc::clone(&team_hits);
-        scope.spawn_team(4, move |ctx| {
-            team_hits.fetch_add(1, Ordering::Relaxed);
-            ctx.barrier();
         });
+        assert_eq!(seq_hits.load(Ordering::Relaxed), 6);
+        assert_eq!(team_hits.load(Ordering::Relaxed), 4);
     });
-    assert_eq!(seq_hits.load(Ordering::Relaxed), 6);
-    assert_eq!(team_hits.load(Ordering::Relaxed), 4);
 }
