@@ -14,6 +14,11 @@
 //! * [`scope_inject`] — many small scopes, each submitting root tasks from
 //!   outside the worker pool: the cost of the external injection queue and
 //!   scope termination detection.
+//! * [`soak`] — a bounded-memory probe: many root-task lifetimes with
+//!   deque-growing spawn bursts, sampling the scheduler's retained
+//!   injection-queue segments and deferred-reclamation backlog between
+//!   scopes.  Its gauges (peak/final footprint) ride in the perf report's
+//!   `extra` object; the reclaimed counts are ordinary scheduler metrics.
 //!
 //! Every scenario validates its own execution count, so a scheduler that
 //! drops or duplicates tasks can never report a good time.
@@ -133,6 +138,71 @@ pub fn scope_inject(scheduler: &Scheduler, scopes: usize, per_scope: usize) -> D
     duration
 }
 
+/// Children spawned by every root task of the [`soak`] scenario.  Above the
+/// deque's minimum capacity (32), so each burst exercises buffer growth at
+/// least until the per-worker deques reach their high-water capacity.
+pub const SOAK_BURST: usize = 48;
+
+/// Memory-footprint gauges recorded by one [`soak`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SoakOutcome {
+    /// Wall-clock time of the timed region.
+    pub duration: Duration,
+    /// Highest retained injection-segment count observed between scopes.
+    pub peak_injector_segments: usize,
+    /// Retained injection-segment count after the last scope drained.
+    pub final_injector_segments: usize,
+    /// Highest deferred-but-not-yet-freed object count observed.
+    pub peak_deferred_items: usize,
+}
+
+/// One timed soak run: `scopes` back-to-back scopes, each injecting
+/// `per_scope` root tasks that each spawn a [`SOAK_BURST`]-child burst —
+/// i.e. many *root-task lifetimes*, the traffic pattern whose segments the
+/// seed runtime used to retain forever.  Samples the reclamation gauges
+/// ([`Scheduler::reclamation`]) between scopes; with healthy epoch
+/// reclamation the peak stays bounded instead of growing with
+/// `scopes * per_scope`.
+///
+/// # Panics
+///
+/// Panics if not exactly `scopes * per_scope * (SOAK_BURST + 1)` tasks
+/// executed.
+pub fn soak(scheduler: &Scheduler, scopes: usize, per_scope: usize) -> SoakOutcome {
+    let executed = Arc::new(AtomicUsize::new(0));
+    let mut outcome = SoakOutcome::default();
+    let (duration, ()) = time(|| {
+        for _ in 0..scopes {
+            scheduler.scope(|scope| {
+                for _ in 0..per_scope {
+                    let counter = Arc::clone(&executed);
+                    scope.spawn(move |ctx| {
+                        for _ in 0..SOAK_BURST {
+                            let counter = Arc::clone(&counter);
+                            ctx.spawn(move |_| {
+                                counter.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+            let r = scheduler.reclamation();
+            outcome.peak_injector_segments =
+                outcome.peak_injector_segments.max(r.injector_segments);
+            outcome.peak_deferred_items = outcome.peak_deferred_items.max(r.deferred_items);
+        }
+    });
+    outcome.duration = duration;
+    outcome.final_injector_segments = scheduler.reclamation().injector_segments;
+    assert_eq!(
+        executed.load(Ordering::Relaxed),
+        scopes * per_scope * (SOAK_BURST + 1),
+        "soak lost or duplicated tasks"
+    );
+    outcome
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,5 +231,22 @@ mod tests {
         let scheduler = Scheduler::with_threads(2);
         let d = scope_inject(&scheduler, 50, 20);
         assert!(d > Duration::ZERO);
+    }
+
+    #[test]
+    fn soak_reports_bounded_footprint() {
+        let scheduler = Scheduler::with_threads(2);
+        let outcome = soak(&scheduler, 40, 16);
+        assert!(outcome.duration > Duration::ZERO);
+        // 640 root tasks cross ten 64-slot segments; reclamation must keep
+        // the retained chain far below that (a generous bound to stay
+        // timing-insensitive — the exact gauge is asserted in the dedicated
+        // reclamation integration tests).
+        assert!(
+            outcome.peak_injector_segments <= 8,
+            "peak {} segments retained",
+            outcome.peak_injector_segments
+        );
+        assert!(outcome.final_injector_segments >= 1);
     }
 }

@@ -53,6 +53,7 @@ struct Sweeps {
     sort: bool,
     kernel: bool,
     micro: bool,
+    soak: bool,
 }
 
 impl Default for Sweeps {
@@ -61,6 +62,7 @@ impl Default for Sweeps {
             sort: true,
             kernel: true,
             micro: true,
+            soak: true,
         }
     }
 }
@@ -103,8 +105,8 @@ const HELP: &str = "Perf-trajectory harness (writes BENCH_sort.json / BENCH_kern
   --warmups N        untimed warmup runs per scenario (default 1)
   --seed N           input seed (default 42)
   --out-dir PATH     output directory (default .)
-  --only LIST        comma-separated sweep families to run: sort,kernel,micro
-                     (default: all three)
+  --only LIST        comma-separated sweep families to run:
+                     sort,kernel,micro,soak (default: all four)
   --check FILE       fail (exit 1) on MMPar median regression vs baseline FILE;
                      with --smoke the comparison runs a dedicated MMPar pass at
                      the baseline's recorded size/threads so medians compare
@@ -164,15 +166,17 @@ fn parse_args() -> Result<Options, String> {
                     sort: false,
                     kernel: false,
                     micro: false,
+                    soak: false,
                 };
                 for family in list.split(',') {
                     match family.trim() {
                         "sort" => sweeps.sort = true,
                         "kernel" => sweeps.kernel = true,
                         "micro" => sweeps.micro = true,
+                        "soak" => sweeps.soak = true,
                         other => {
                             return Err(format!(
-                                "unknown sweep family '{other}' (expected sort, kernel or micro)"
+                                "unknown sweep family '{other}' (expected sort, kernel, micro or soak)"
                             ))
                         }
                     }
@@ -289,6 +293,7 @@ fn sort_record(
         metrics,
         seq_reference_s,
         speedup_vs_seq,
+        extra: None,
     }
 }
 
@@ -414,6 +419,7 @@ fn sweep_kernels(opts: &Options) -> Report {
                 metrics,
                 seq_reference_s,
                 speedup_vs_seq,
+                extra: None,
             });
         }
     }
@@ -462,6 +468,7 @@ fn micro_record(
         metrics,
         seq_reference_s: None,
         speedup_vs_seq: None,
+        extra: None,
     }
 }
 
@@ -502,6 +509,80 @@ fn sweep_micro(opts: &Options) -> Vec<RunRecord> {
             &scheduler,
             || micro::scope_inject(&scheduler, scopes, per_scope),
         ));
+    }
+    records
+}
+
+/// Sweeps the bounded-memory soak scenario ([`micro::soak`]) over the
+/// thread counts: many back-to-back root-task lifetimes whose spawn bursts
+/// also exercise deque growth.  The reclaimed-object counts land in the
+/// record's ordinary scheduler metrics (`segments_reclaimed`,
+/// `buffers_reclaimed`, `epoch_advances`); the retained-footprint gauges
+/// ride in the record's `extra` object (see EXPERIMENTS.md).
+fn sweep_soak(opts: &Options) -> Vec<RunRecord> {
+    let per_scope = 8;
+    let scopes = (opts.size / 256).max(24);
+    let root_tasks = scopes * per_scope;
+    let mut records = Vec::new();
+    for &threads in &opts.threads {
+        // Unlike the latency micros, each repetition runs a *fresh*
+        // scheduler: soak measures a full scheduler lifecycle (cold deques
+        // growing, segments churning, everything reclaimed), and a reused
+        // engine would hide the buffer-retire traffic behind the warmup's
+        // high-water mark.
+        for _ in 0..opts.warmups {
+            let scheduler = Scheduler::with_threads(threads);
+            micro::soak(&scheduler, scopes.min(64), per_scope);
+        }
+        let mut stats = RunStats::new();
+        let mut metrics = MetricsSnapshot::default();
+        let mut peak_segments = 0usize;
+        let mut peak_deferred = 0usize;
+        let mut final_segments = 0usize;
+        for _ in 0..opts.reps {
+            let scheduler = Scheduler::with_threads(threads);
+            let before = scheduler.metrics();
+            let outcome = micro::soak(&scheduler, scopes, per_scope);
+            stats.record(outcome.duration);
+            metrics = metrics.merge(scheduler.metrics().delta_since(&before));
+            peak_segments = peak_segments.max(outcome.peak_injector_segments);
+            peak_deferred = peak_deferred.max(outcome.peak_deferred_items);
+            final_segments = outcome.final_injector_segments;
+        }
+        let secs = TimingSummary::from_stats(&stats);
+        eprintln!(
+            "soak    | {root_tasks:>6} roots | p = {threads:>2} | median {:>10.6}s | peak segs {peak_segments} | reclaimed {}+{}",
+            secs.median_s, metrics.segments_reclaimed, metrics.buffers_reclaimed
+        );
+        records.push(RunRecord {
+            group: "soak".into(),
+            name: "soak".into(),
+            distribution: None,
+            size: root_tasks,
+            threads,
+            warmups: opts.warmups,
+            repetitions: opts.reps,
+            secs,
+            metrics,
+            seq_reference_s: None,
+            speedup_vs_seq: None,
+            extra: Some(JsonValue::Object(vec![
+                (
+                    "peak_injector_segments".into(),
+                    JsonValue::Number(peak_segments as f64),
+                ),
+                (
+                    "final_injector_segments".into(),
+                    JsonValue::Number(final_segments as f64),
+                ),
+                (
+                    "peak_deferred_items".into(),
+                    JsonValue::Number(peak_deferred as f64),
+                ),
+                ("scopes".into(), JsonValue::Number(scopes as f64)),
+                ("per_scope".into(), JsonValue::Number(per_scope as f64)),
+            ])),
+        });
     }
     records
 }
@@ -643,12 +724,13 @@ fn run() -> Result<i32, String> {
         None
     };
 
-    if opts.sweeps.kernel || opts.sweeps.micro {
+    if opts.sweeps.kernel || opts.sweeps.micro || opts.sweeps.soak {
         let kernels_path = opts.out_dir.join("BENCH_kernels.json");
-        // A partial run (`--only kernel` / `--only micro`) must not clobber
-        // the skipped family's records in an existing report at the
-        // destination: carry them over instead.
-        let preserved: Vec<RunRecord> = if opts.sweeps.kernel && opts.sweeps.micro {
+        // A partial run (`--only kernel` / `--only micro` / `--only soak`)
+        // must not clobber the skipped families' records in an existing
+        // report at the destination: carry them over instead.
+        let all_families = opts.sweeps.kernel && opts.sweeps.micro && opts.sweeps.soak;
+        let preserved: Vec<RunRecord> = if all_families {
             Vec::new()
         } else {
             std::fs::read_to_string(&kernels_path)
@@ -661,12 +743,13 @@ fn run() -> Result<i32, String> {
                         .filter(|r| {
                             (r.group == "kernel" && !opts.sweeps.kernel)
                                 || (r.group == "micro" && !opts.sweeps.micro)
+                                || (r.group == "soak" && !opts.sweeps.soak)
                         })
                         .collect()
                 })
                 .unwrap_or_default()
         };
-        // Stable record order: kernel records first, then micro.
+        // Stable record order: kernel records first, then micro, then soak.
         let mut records = if opts.sweeps.kernel {
             sweep_kernels(&opts).records
         } else {
@@ -679,7 +762,12 @@ fn run() -> Result<i32, String> {
         if opts.sweeps.micro {
             records.extend(sweep_micro(&opts));
         } else {
-            records.extend(preserved.into_iter().filter(|r| r.group == "micro"));
+            records.extend(preserved.iter().filter(|r| r.group == "micro").cloned());
+        }
+        if opts.sweeps.soak {
+            records.extend(sweep_soak(&opts));
+        } else {
+            records.extend(preserved.into_iter().filter(|r| r.group == "soak"));
         }
         let kernel_report = new_report(&opts, "kernel", records);
         write_report(&kernels_path, &kernel_report)?;

@@ -505,9 +505,11 @@ impl TimingSummary {
 /// order.  Shared by the writer, the parser and the schema documentation.
 ///
 /// `nodes_recycled`, `tasks_injected` and `liveness_resyncs` were added with
-/// the arena/injector runtime (PR 3); the parser defaults absent counters to
-/// zero so reports written by earlier harnesses stay readable.
-const METRIC_FIELDS: [&str; 13] = [
+/// the arena/injector runtime (PR 3); `segments_reclaimed`,
+/// `buffers_reclaimed` and `epoch_advances` with the epoch-reclamation
+/// subsystem (PR 4).  The parser defaults absent counters to zero so reports
+/// written by earlier harnesses stay readable.
+const METRIC_FIELDS: [&str; 16] = [
     "tasks_executed",
     "team_tasks_executed",
     "teams_formed",
@@ -521,6 +523,9 @@ const METRIC_FIELDS: [&str; 13] = [
     "nodes_recycled",
     "tasks_injected",
     "liveness_resyncs",
+    "segments_reclaimed",
+    "buffers_reclaimed",
+    "epoch_advances",
 ];
 
 fn metrics_to_json(m: &MetricsSnapshot) -> JsonValue {
@@ -538,6 +543,9 @@ fn metrics_to_json(m: &MetricsSnapshot) -> JsonValue {
         m.nodes_recycled,
         m.tasks_injected,
         m.liveness_resyncs,
+        m.segments_reclaimed,
+        m.buffers_reclaimed,
+        m.epoch_advances,
     ];
     JsonValue::Object(
         METRIC_FIELDS
@@ -579,6 +587,9 @@ fn metrics_from_json(value: &JsonValue) -> Result<MetricsSnapshot, String> {
         nodes_recycled: optional_field("nodes_recycled"),
         tasks_injected: optional_field("tasks_injected"),
         liveness_resyncs: optional_field("liveness_resyncs"),
+        segments_reclaimed: optional_field("segments_reclaimed"),
+        buffers_reclaimed: optional_field("buffers_reclaimed"),
+        epoch_advances: optional_field("epoch_advances"),
     })
 }
 
@@ -615,6 +626,12 @@ pub struct RunRecord {
     pub seq_reference_s: Option<f64>,
     /// `seq_reference_s / median_s`, if a reference exists.
     pub speedup_vs_seq: Option<f64>,
+    /// Scenario-specific extra measurements as a free-form JSON object
+    /// (`null` for scenarios without any).  The `soak` scenario records its
+    /// memory-footprint gauges here (see EXPERIMENTS.md).  Absent in
+    /// reports written before schema field introduction; the parser
+    /// defaults it to `None`.
+    pub extra: Option<JsonValue>,
 }
 
 impl RunRecord {
@@ -642,6 +659,10 @@ impl RunRecord {
             ("metrics".into(), metrics_to_json(&self.metrics)),
             ("seq_reference_s".into(), opt_num(self.seq_reference_s)),
             ("speedup_vs_seq".into(), opt_num(self.speedup_vs_seq)),
+            (
+                "extra".into(),
+                self.extra.clone().unwrap_or(JsonValue::Null),
+            ),
         ])
     }
 
@@ -681,6 +702,10 @@ impl RunRecord {
             )?,
             seq_reference_s: opt_num("seq_reference_s"),
             speedup_vs_seq: opt_num("speedup_vs_seq"),
+            extra: value
+                .get("extra")
+                .filter(|v| !matches!(v, JsonValue::Null))
+                .cloned(),
         })
     }
 
@@ -971,6 +996,10 @@ mod tests {
             },
             seq_reference_s: Some(median * 2.0),
             speedup_vs_seq: Some(2.0),
+            extra: Some(JsonValue::Object(vec![(
+                "peak_injector_segments".into(),
+                JsonValue::Number(3.0),
+            )])),
         }
     }
 

@@ -86,6 +86,59 @@ fn smoke_run_writes_complete_parseable_reports() {
         assert!(record.seq_reference_s.is_some());
         assert!(record.speedup_vs_seq.is_some());
     }
+
+    // The soak scenario carries the memory-footprint gauges in `extra` and
+    // its reclamation counters in the ordinary metrics block.
+    let soak = kernels
+        .records
+        .iter()
+        .find(|r| r.group == "soak" && r.name == "soak")
+        .expect("missing soak record");
+    assert!(soak.secs.median_s > 0.0);
+    let extra = soak.extra.as_ref().expect("soak record has extra gauges");
+    for gauge in [
+        "peak_injector_segments",
+        "final_injector_segments",
+        "peak_deferred_items",
+    ] {
+        assert!(
+            extra.get(gauge).and_then(|v| v.as_f64()).is_some(),
+            "soak extra missing {gauge}"
+        );
+    }
+    // Even at smoke scale the root tasks cross several injection segments,
+    // so the retained count must stay far below size/SEGMENT_SLOTS if
+    // reclamation works; the dedicated reclamation integration tests pin
+    // the tight bounds, here we only guard against total regression.
+    let peak = extra
+        .get("peak_injector_segments")
+        .and_then(|v| v.as_f64())
+        .unwrap();
+    assert!(
+        peak < soak.size as f64 / 64.0,
+        "soak retained {peak} segments over {} roots — reclamation inert?",
+        soak.size
+    );
+}
+
+#[test]
+fn only_soak_runs_without_other_families() {
+    let dir = scratch_dir("only-soak");
+    let out = run_perf(&["--smoke", "--only", "soak", "--out-dir", dir.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "perf --smoke --only soak failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        !dir.join("BENCH_sort.json").exists(),
+        "--only soak must not write a sort report"
+    );
+    let kernels =
+        Report::from_json_str(&std::fs::read_to_string(dir.join("BENCH_kernels.json")).unwrap())
+            .unwrap();
+    assert!(kernels.records.iter().all(|r| r.group == "soak"));
+    assert!(!kernels.records.is_empty());
 }
 
 #[test]

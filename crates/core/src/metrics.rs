@@ -43,6 +43,14 @@ pub struct WorkerCounters {
     /// re-announcement or member re-registration after a long unproductive
     /// poll).  Zero in healthy runs.
     pub liveness_resyncs: AtomicU64,
+    /// Consumed injection-queue segments this worker freed while collecting
+    /// the epoch domain at a quiescent point (DESIGN.md §11).
+    pub segments_reclaimed: AtomicU64,
+    /// Retired deque growth buffers this worker freed while collecting the
+    /// epoch domain.
+    pub buffers_reclaimed: AtomicU64,
+    /// Global epoch advances won by this worker's collection calls.
+    pub epoch_advances: AtomicU64,
 }
 
 impl WorkerCounters {
@@ -129,6 +137,24 @@ impl WorkerCounters {
         self.tasks_stolen.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Adds `n` to the reclaimed-segment counter.
+    #[inline]
+    pub fn add_segments_reclaimed(&self, n: u64) {
+        self.segments_reclaimed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds `n` to the reclaimed-buffer counter.
+    #[inline]
+    pub fn add_buffers_reclaimed(&self, n: u64) {
+        self.buffers_reclaimed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments the epoch-advance counter.
+    #[inline]
+    pub fn inc_epoch_advances(&self) {
+        Self::bump(&self.epoch_advances);
+    }
+
     /// Snapshot of this worker's counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -145,6 +171,9 @@ impl WorkerCounters {
             nodes_recycled: self.nodes_recycled.load(Ordering::Relaxed),
             tasks_injected: self.tasks_injected.load(Ordering::Relaxed),
             liveness_resyncs: self.liveness_resyncs.load(Ordering::Relaxed),
+            segments_reclaimed: self.segments_reclaimed.load(Ordering::Relaxed),
+            buffers_reclaimed: self.buffers_reclaimed.load(Ordering::Relaxed),
+            epoch_advances: self.epoch_advances.load(Ordering::Relaxed),
         }
     }
 }
@@ -179,6 +208,12 @@ pub struct MetricsSnapshot {
     pub tasks_injected: u64,
     /// Liveness-backstop resyncs (zero in healthy runs).
     pub liveness_resyncs: u64,
+    /// Consumed injection-queue segments freed through the epoch domain.
+    pub segments_reclaimed: u64,
+    /// Retired deque growth buffers freed through the epoch domain.
+    pub buffers_reclaimed: u64,
+    /// Global epoch advances won by collection calls.
+    pub epoch_advances: u64,
 }
 
 impl MetricsSnapshot {
@@ -208,6 +243,9 @@ impl MetricsSnapshot {
             nodes_recycled: self.nodes_recycled + other.nodes_recycled,
             tasks_injected: self.tasks_injected + other.tasks_injected,
             liveness_resyncs: self.liveness_resyncs + other.liveness_resyncs,
+            segments_reclaimed: self.segments_reclaimed + other.segments_reclaimed,
+            buffers_reclaimed: self.buffers_reclaimed + other.buffers_reclaimed,
+            epoch_advances: self.epoch_advances + other.epoch_advances,
         }
     }
 
@@ -250,6 +288,13 @@ impl MetricsSnapshot {
             liveness_resyncs: self
                 .liveness_resyncs
                 .saturating_sub(earlier.liveness_resyncs),
+            segments_reclaimed: self
+                .segments_reclaimed
+                .saturating_sub(earlier.segments_reclaimed),
+            buffers_reclaimed: self
+                .buffers_reclaimed
+                .saturating_sub(earlier.buffers_reclaimed),
+            epoch_advances: self.epoch_advances.saturating_sub(earlier.epoch_advances),
         }
     }
 
@@ -301,6 +346,9 @@ mod tests {
         c.inc_tasks_injected();
         c.inc_liveness_resyncs();
         c.add_tasks_stolen(1);
+        c.add_segments_reclaimed(1);
+        c.add_buffers_reclaimed(1);
+        c.inc_epoch_advances();
         let s = c.snapshot();
         assert_eq!(
             s,
@@ -318,6 +366,9 @@ mod tests {
                 nodes_recycled: 1,
                 tasks_injected: 1,
                 liveness_resyncs: 1,
+                segments_reclaimed: 1,
+                buffers_reclaimed: 1,
+                epoch_advances: 1,
             }
         );
     }

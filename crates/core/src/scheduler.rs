@@ -277,6 +277,31 @@ impl Scheduler {
         self.shared.debug_state_line()
     }
 
+    /// Point-in-time snapshot of the memory-reclamation state (DESIGN.md
+    /// §11): how many injection-queue segments are currently retained, how
+    /// many retired objects await their epoch, and the global epoch itself.
+    ///
+    /// With reclamation healthy, `injector_segments` stays bounded by the
+    /// live queue (it does **not** grow with lifetime root-task count) and
+    /// `deferred_items` stays within a small collection window.  Lock-free
+    /// reads; values may be stale by the time the caller acts on them.
+    ///
+    /// ```
+    /// use teamsteal_core::Scheduler;
+    ///
+    /// let scheduler = Scheduler::with_threads(2);
+    /// scheduler.run(|_| {});
+    /// let r = scheduler.reclamation();
+    /// assert!(r.injector_segments >= 1); // the current segment is always live
+    /// ```
+    pub fn reclamation(&self) -> ReclamationSnapshot {
+        ReclamationSnapshot {
+            injector_segments: self.shared.injector.live_segments(),
+            deferred_items: self.shared.epoch.pending(),
+            global_epoch: self.shared.epoch.global_epoch(),
+        }
+    }
+
     fn check_requirement(&self, requirement: usize) {
         assert!(requirement >= 1, "a task requires at least one thread");
         assert!(
@@ -305,6 +330,20 @@ impl Drop for Scheduler {
         // Free any leftover nodes (only present if a scope was abandoned).
         self.shared.drain_leftovers();
     }
+}
+
+/// Point-in-time view of the scheduler's memory-reclamation state, from
+/// [`Scheduler::reclamation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReclamationSnapshot {
+    /// Injection-queue segments currently linked (live chain; retired ones
+    /// are excluded).  Bounded when reclamation is healthy.
+    pub injector_segments: usize,
+    /// Retired objects (segments + deque buffers) deferred but not yet
+    /// freed by the epoch domain.
+    pub deferred_items: usize,
+    /// The reclamation domain's global epoch.
+    pub global_epoch: u64,
 }
 
 /// Handle for submitting root tasks from outside the worker pool.

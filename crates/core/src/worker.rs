@@ -12,9 +12,12 @@ use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use std::cell::UnsafeCell;
+
 use teamsteal_deque::{Injector, RawDeque, Steal};
 use teamsteal_registration::{AcquireOutcome, AtomicRegistration, ReleaseOutcome};
 use teamsteal_topology::{StealPolicy, Topology};
+use teamsteal_util::epoch::{Domain, Participant};
 use teamsteal_util::rng::{worker_rng, Xoshiro256};
 use teamsteal_util::slab::Slab;
 use teamsteal_util::{bits, Backoff, CachePadded};
@@ -81,14 +84,20 @@ pub(crate) struct WorkerShared {
 }
 
 impl WorkerShared {
-    fn new(id: usize, queue_levels: usize) -> Self {
+    fn new(id: usize, queue_levels: usize, epoch: &Arc<Domain>) -> Self {
         debug_assert!(
             queue_levels <= usize::BITS as usize,
             "occupancy bitmask holds one bit per queue level"
         );
         WorkerShared {
             id,
-            queues: (0..queue_levels).map(|_| RawDeque::new()).collect(),
+            // SAFETY: every thread that steals from these deques is a worker
+            // thread pinned for the whole loop iteration (`run_loop`), or
+            // has exclusive access (drop-time draining) — the `in_domain`
+            // contract.
+            queues: (0..queue_levels)
+                .map(|_| unsafe { RawDeque::in_domain(Arc::clone(epoch)) })
+                .collect(),
             occupancy: AtomicUsize::new(0),
             node_pool: Slab::new(),
             reg: AtomicRegistration::new(),
@@ -138,6 +147,103 @@ impl WorkerShared {
     }
 }
 
+/// Participant slots pre-registered for threads *outside* the worker pool
+/// (`Scheduler::scope` submitters, drop-time draining).  More simultaneous
+/// submitters than this briefly spin for a free slot in `ExternalPins`.
+const EXTERNAL_PARTICIPANTS: usize = 32;
+
+/// A fixed pool of pre-registered epoch participants that threads outside
+/// the worker pool borrow around each injector access.
+///
+/// Workers own their participant for the whole thread lifetime; external
+/// submitters are arbitrary short-lived threads, so they claim a slot with
+/// one CAS, pin, touch the queue, unpin and release — keeping the injection
+/// path lock-free (a claimed slot is exclusive, so the `UnsafeCell` access
+/// is data-race free).
+pub(crate) struct ExternalPins {
+    slots: Box<[CachePadded<ExternalSlot>]>,
+}
+
+struct ExternalSlot {
+    busy: AtomicBool,
+    participant: UnsafeCell<Participant>,
+}
+
+// SAFETY: `participant` is only touched between a successful `busy` CAS
+// (Acquire) and the matching Release store, which serializes all access.
+unsafe impl Sync for ExternalPins {}
+unsafe impl Send for ExternalPins {}
+
+impl ExternalPins {
+    fn new(epoch: &Arc<Domain>, count: usize) -> Self {
+        ExternalPins {
+            slots: (0..count)
+                .map(|_| {
+                    CachePadded::new(ExternalSlot {
+                        busy: AtomicBool::new(false),
+                        participant: UnsafeCell::new(
+                            epoch.register().expect("domain sized for the external pool"),
+                        ),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Runs `f` pinned to a borrowed external participant.
+    pub(crate) fn with_pinned<R>(&self, f: impl FnOnce() -> R) -> R {
+        /// Unpins and releases the claimed slot even if `f` unwinds: a
+        /// leaked claim would otherwise leave its participant pinned at a
+        /// stale epoch *forever*, wedging reclamation for the scheduler's
+        /// whole lifetime (and losing a pool slot).
+        struct SlotGuard<'a>(&'a ExternalSlot);
+        impl Drop for SlotGuard<'_> {
+            fn drop(&mut self) {
+                // SAFETY: the guard exists only while we hold the claim.
+                unsafe { &*self.0.participant.get() }.unpin();
+                self.0.busy.store(false, Ordering::Release);
+            }
+        }
+
+        // Start the scan at a per-thread offset so concurrent submitters
+        // claim *different* cache-padded slots instead of all CASing slot
+        // 0's line on every injection.
+        thread_local! {
+            static SCAN_OFFSET: usize = {
+                static NEXT: AtomicUsize = AtomicUsize::new(0);
+                NEXT.fetch_add(1, Ordering::Relaxed)
+            };
+        }
+        let start = SCAN_OFFSET.with(|o| *o) % self.slots.len();
+        let mut backoff = Backoff::new();
+        loop {
+            for i in 0..self.slots.len() {
+                let slot = &*self.slots[(start + i) % self.slots.len()];
+                if slot.busy.load(Ordering::Relaxed) {
+                    continue;
+                }
+                if slot
+                    .busy
+                    .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                    .is_err()
+                {
+                    continue;
+                }
+                let guard = SlotGuard(slot);
+                // SAFETY: the claimed `busy` flag gives us exclusive access
+                // until the guard's Release store.
+                unsafe { &*slot.participant.get() }.pin();
+                let result = f();
+                drop(guard);
+                return result;
+            }
+            // All slots claimed: more than EXTERNAL_PARTICIPANTS threads are
+            // mid-injection right now.  Briefly back off and rescan.
+            backoff.wait_capped(std::time::Duration::from_micros(50));
+        }
+    }
+}
+
 /// State shared by all workers of one scheduler.
 pub(crate) struct SchedulerShared {
     pub(crate) workers: Vec<CachePadded<WorkerShared>>,
@@ -147,6 +253,12 @@ pub(crate) struct SchedulerShared {
     pub(crate) idle_sleep_cap: std::time::Duration,
     pub(crate) member_poll_sleep_cap: std::time::Duration,
     pub(crate) seed: u64,
+    /// Epoch-reclamation domain shared by the injector and every worker
+    /// deque; sized for all workers plus the external-submitter pool
+    /// (DESIGN.md §11).
+    pub(crate) epoch: Arc<Domain>,
+    /// Borrowed pins for threads outside the worker pool.
+    pub(crate) external_pins: ExternalPins,
     /// External injection queue for root tasks submitted by
     /// `Scheduler::scope`: a lock-free MPMC FIFO, so submitters never
     /// serialize against each other or against idle workers polling for
@@ -160,9 +272,11 @@ impl SchedulerShared {
         let topology = config.resolve_topology();
         let p = topology.num_threads();
         let queue_levels = topology.num_queue_levels();
+        let epoch = Domain::new(p + EXTERNAL_PARTICIPANTS);
+        let external_pins = ExternalPins::new(&epoch, EXTERNAL_PARTICIPANTS);
         Arc::new(SchedulerShared {
             workers: (0..p)
-                .map(|id| CachePadded::new(WorkerShared::new(id, queue_levels)))
+                .map(|id| CachePadded::new(WorkerShared::new(id, queue_levels, &epoch)))
                 .collect(),
             topology,
             steal_policy: config.steal_policy,
@@ -170,7 +284,13 @@ impl SchedulerShared {
             idle_sleep_cap: config.idle_sleep_cap,
             member_poll_sleep_cap: config.member_poll_sleep_cap,
             seed: config.seed,
-            injector: Injector::new(),
+            // SAFETY: all injector access goes through pinned participants —
+            // workers pin for the whole loop iteration, external submitters
+            // borrow a pinned slot via `ExternalPins::with_pinned`
+            // (including drop-time draining).
+            injector: unsafe { Injector::in_domain(Arc::clone(&epoch)) },
+            epoch,
+            external_pins,
             shutdown: AtomicBool::new(false),
         })
     }
@@ -183,7 +303,12 @@ impl SchedulerShared {
     /// start countdown, queue lengths) plus the injector length.  Lock-free;
     /// shared by the stall reporter and `Scheduler::debug_state`.
     pub(crate) fn debug_state_line(&self) -> String {
-        let mut line = format!("injector={}", self.injector.len());
+        let mut line = format!(
+            "injector={} segs={} deferred={}",
+            self.injector.len(),
+            self.injector.live_segments(),
+            self.epoch.pending(),
+        );
         for (i, w) in self.workers.iter().enumerate() {
             let reg = w.reg.load();
             let qlens: Vec<usize> = w.queues.iter().map(|q| q.len()).collect();
@@ -200,9 +325,12 @@ impl SchedulerShared {
         line
     }
 
-    /// Injects a root task from outside the worker pool.  Lock-free.
+    /// Injects a root task from outside the worker pool.  Lock-free: one
+    /// CAS to borrow an external epoch pin, one `fetch_add` plus a release
+    /// store in the queue, one release store to return the pin.
     pub(crate) fn inject(&self, ptr: *mut TaskNode) {
-        self.injector.push(TaskPtr(ptr));
+        self.external_pins
+            .with_pinned(|| self.injector.push(TaskPtr(ptr)));
     }
 
     /// Frees any task nodes still sitting in queues or the injector.  Called
@@ -210,9 +338,11 @@ impl SchedulerShared {
     /// scope was abandoned because a task panicked).
     pub(crate) fn drain_leftovers(&self) {
         let mut leftovers: Vec<TaskPtr> = Vec::new();
-        while let Some(task) = self.injector.pop() {
-            leftovers.push(task);
-        }
+        self.external_pins.with_pinned(|| {
+            while let Some(task) = self.injector.pop() {
+                leftovers.push(task);
+            }
+        });
         for w in &self.workers {
             for q in &w.queues {
                 while let Some(word) = q.pop_bottom() {
@@ -252,6 +382,11 @@ enum PollOutcome {
     Nothing,
 }
 
+/// Loop iterations between opportunistic epoch collections while the worker
+/// is busy (idle workers collect every round instead).  Collection is cheap
+/// when there is no garbage, so this only bounds bag-mutex traffic.
+const COLLECT_INTERVAL: u64 = 64;
+
 /// Worker-local (unshared) state plus a handle to the shared state.
 pub(crate) struct Worker {
     pub(crate) id: usize,
@@ -261,19 +396,53 @@ pub(crate) struct Worker {
     last_seen_seq: Vec<u64>,
     /// Renewal counter recorded at registration time, per coordinator.
     registered_counter: Vec<u16>,
+    /// This worker's epoch participant.  Pinned at the top of every loop
+    /// iteration (a quiescent point), unpinned around sleeps so a parked
+    /// worker never stalls reclamation (DESIGN.md §11).
+    participant: Participant,
+    /// Loop iterations since start; rate-limits busy-path collection.
+    loop_ticks: u64,
 }
 
 impl Worker {
     pub(crate) fn new(id: usize, shared: Arc<SchedulerShared>) -> Self {
         let p = shared.num_threads();
         let rng = worker_rng(shared.seed, id);
+        let participant = shared
+            .epoch
+            .register()
+            .expect("epoch domain is sized for every worker");
         Worker {
             id,
             shared,
             rng,
             last_seen_seq: vec![0; p],
             registered_counter: vec![0; p],
+            participant,
+            loop_ticks: 0,
         }
+    }
+
+    /// Collects the epoch domain, crediting freed objects to this worker's
+    /// counters.  Must be called at a quiescent point (directly after a
+    /// repin, before any protected pointer is obtained).
+    fn collect_epoch(&self) {
+        let freed = self.shared.epoch.try_collect();
+        if freed.advanced {
+            self.me().counters.inc_epoch_advances();
+        }
+        self.me().counters.add_segments_reclaimed(freed.freed_segments);
+        self.me().counters.add_buffers_reclaimed(freed.freed_buffers);
+    }
+
+    /// Backoff-sleeps with the epoch pin released, so a waiting worker never
+    /// blocks the global epoch.  Every wait site holds no protected pointer
+    /// across the sleep; the caller's next protected access happens after
+    /// the repin here (a fresh quiescent point).
+    fn unpinned_wait(&self, backoff: &mut Backoff, cap: std::time::Duration) {
+        self.participant.unpin();
+        backoff.wait_capped(cap);
+        self.participant.pin();
     }
 
     #[inline]
@@ -323,6 +492,16 @@ impl Worker {
             if self.shared.shutdown.load(Ordering::Acquire) {
                 break;
             }
+            // Quiescent point: every protected pointer from the previous
+            // iteration is dead here.  Re-pin to the current epoch, and
+            // opportunistically collect ripe garbage (every round while
+            // idle would be wasteful when busy, so busy rounds collect at
+            // COLLECT_INTERVAL).
+            self.participant.pin();
+            self.loop_ticks = self.loop_ticks.wrapping_add(1);
+            if self.loop_ticks % COLLECT_INTERVAL == 0 {
+                self.collect_epoch();
+            }
             let coordinator = self.me().coordinator.load(Ordering::Relaxed);
             if coordinator != self.id {
                 // paper: Algorithm 5 lines 7–14 — this worker is registered
@@ -347,8 +526,13 @@ impl Worker {
             }
             self.me().counters.inc_failed_steal_rounds();
             self.stall_report("idle/steal", idle.rounds());
-            idle.wait_capped(self.shared.idle_sleep_cap);
+            // An idle round is the cheapest quiescent point there is:
+            // collect before parking, then sleep unpinned so reclamation
+            // never waits on a sleeper.
+            self.collect_epoch();
+            self.unpinned_wait(&mut idle, self.shared.idle_sleep_cap);
         }
+        self.participant.unpin();
     }
 
     /// The queue level this worker should work on next: the formed team's
@@ -533,7 +717,7 @@ impl Worker {
                             self.me().counters.inc_liveness_resyncs();
                         }
                         self.stall_report("coordinate_level", backoff.rounds());
-                        backoff.wait_capped(self.shared.member_poll_sleep_cap);
+                        self.unpinned_wait(&mut backoff, self.shared.member_poll_sleep_cap);
                     }
                 }
             }
@@ -619,7 +803,7 @@ impl Worker {
                 return;
             }
             self.stall_report("wait_countdown", backoff.rounds());
-            backoff.wait_capped(self.shared.member_poll_sleep_cap);
+            self.unpinned_wait(&mut backoff, self.shared.member_poll_sleep_cap);
         }
     }
 
@@ -666,7 +850,7 @@ impl Worker {
         // coordination work, except polling the coordinator").
         let teamed = creg.teamed as usize;
         if teamed > 1 && self.topo().team_for(cid, teamed).contains(&me) {
-            backoff.wait_capped(self.shared.member_poll_sleep_cap);
+            self.unpinned_wait(backoff, self.shared.member_poll_sleep_cap);
             return;
         }
         // 3. Is our registration still valid and needed?
@@ -708,7 +892,7 @@ impl Worker {
                         }
                     }
                 }
-                backoff.wait_capped(self.shared.member_poll_sleep_cap);
+                self.unpinned_wait(backoff, self.shared.member_poll_sleep_cap);
             }
         }
     }

@@ -19,17 +19,31 @@
 //!
 //! # Memory reclamation
 //!
-//! Like [`RawDeque`](crate::RawDeque)'s leaky-buffer growth, consumed
-//! segments are kept (linked) until the injector is dropped, so a racing
-//! reader holding a stale segment pointer can never touch freed memory.  The
-//! cost is [`std::mem::size_of`]`::<T>() + 16` bytes per *pushed element*
-//! lifetime-total, which for the scheduler (one pointer-sized entry per
-//! **root** task, not per spawned task) is negligible; a future epoch scheme
-//! can reclaim segments without changing the interface.
+//! Consumed segments are **reclaimed through an epoch domain**
+//! ([`teamsteal_util::epoch`]): the consumer that takes the last slot of a
+//! segment claims the exhausted prefix of the chain by advancing the head
+//! hint with one CAS (the winner is unique, so each segment is retired
+//! exactly once) and hands the unlinked segments to
+//! [`Domain::defer`](teamsteal_util::epoch::Domain::defer).  They are freed
+//! once every registered participant has passed a quiescent point — so a
+//! racing reader holding a stale segment pointer can never touch freed
+//! memory, while the retained footprint stays bounded by the *live* queue
+//! plus the (small) not-yet-collected deferral window instead of growing
+//! with lifetime-total traffic.  The safety argument is written up in
+//! DESIGN.md §11; [`Injector::live_segments`] exposes the retained count.
+//!
+//! An [`Injector::new`] without an explicit domain creates a private one
+//! that nobody collects, which degrades to the old leak-until-drop behavior
+//! and keeps unpinned standalone use sound; the scheduler constructs its
+//! injector with [`Injector::in_domain`] and upholds the pinning contract
+//! documented there.
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use teamsteal_util::epoch::{Deferred, Domain, ReclaimClass};
 
 use crate::Steal;
 
@@ -83,13 +97,19 @@ pub struct Injector<T> {
     head: AtomicUsize,
     /// Next index to produce (indices below `tail` are reserved).
     tail: AtomicUsize,
-    /// Hint: a segment at or before the one containing `head`.
+    /// A segment at or before the one containing `head`, **and** the
+    /// reclamation frontier: every segment before it has been retired
+    /// (deferred into the epoch domain), so the live chain starts here.
     head_seg: AtomicPtr<Segment<T>>,
-    /// Hint: a segment at or before the one containing `tail`.
+    /// Hint: a segment at or before the one containing `tail` (never behind
+    /// `head_seg`; the retire path fixes it up before deferring).
     tail_seg: AtomicPtr<Segment<T>>,
-    /// The first segment ever allocated; segments are never unlinked, so the
-    /// whole chain is reachable (and freed) from here at drop time.
-    first_seg: *mut Segment<T>,
+    /// Epoch domain consumed segments are deferred into.
+    domain: Arc<Domain>,
+    /// Segments linked into the chain over the injector's lifetime.
+    segs_linked: AtomicUsize,
+    /// Segments retired (unlinked and deferred) over the lifetime.
+    segs_retired: AtomicUsize,
 }
 
 // SAFETY: all shared state is accessed through atomics; values are moved in
@@ -104,16 +124,54 @@ impl<T: Send> Default for Injector<T> {
 }
 
 impl<T: Send> Injector<T> {
-    /// Creates an empty injector (allocates the first segment).
+    /// Creates an empty injector with a **private** epoch domain.
+    ///
+    /// Nothing ever collects a private domain, so consumed segments are
+    /// retained until drop (the pre-reclamation behavior) and callers need
+    /// not pin — appropriate for tests and standalone use.  Scheduler-grade
+    /// bounded memory comes from [`Injector::in_domain`].
     pub fn new() -> Self {
+        // SAFETY: the private domain is never exposed, so no collector
+        // exists and unpinned access can never observe freed memory.
+        unsafe { Self::in_domain(Domain::new(1)) }
+    }
+
+    /// Creates an empty injector whose consumed segments are deferred into
+    /// `domain` (allocates the first segment).
+    ///
+    /// # Safety
+    ///
+    /// For as long as `domain` can be collected
+    /// ([`Domain::try_collect`]), every thread calling [`push`](Self::push),
+    /// [`try_pop`](Self::try_pop) or [`pop`](Self::pop) must do so while
+    /// pinned to a registered participant of that same domain
+    /// ([`teamsteal_util::epoch::Participant::pin`]), and must treat any
+    /// segment pointer as dead across a repin.  `len`/`is_empty` and
+    /// `live_segments` read only top-level atomics and are exempt.
+    pub unsafe fn in_domain(domain: Arc<Domain>) -> Self {
         let first = Segment::new(0);
         Injector {
             head: AtomicUsize::new(0),
             tail: AtomicUsize::new(0),
             head_seg: AtomicPtr::new(first),
             tail_seg: AtomicPtr::new(first),
-            first_seg: first,
+            domain,
+            segs_linked: AtomicUsize::new(1),
+            segs_retired: AtomicUsize::new(0),
         }
+    }
+
+    /// Number of segments currently linked (live chain; already-deferred
+    /// ones are excluded): the injector's *chain* footprint in units of
+    /// `SEGMENT_SLOTS` slots.  Bounded by the live queue length plus a
+    /// small constant in every configuration — consumed segments leave the
+    /// chain at retire time.  In the private-domain (`new()`) configuration
+    /// the memory still accumulates, but in the domain's deferral bags:
+    /// watch [`Domain::pending`] for that, not this gauge.
+    pub fn live_segments(&self) -> usize {
+        self.segs_linked
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.segs_retired.load(Ordering::Relaxed))
     }
 
     /// Snapshot of the number of queued elements.  Like the deque's `len`,
@@ -135,7 +193,9 @@ impl<T: Send> Injector<T> {
     /// must start at or before it.
     fn segment_for(&self, mut from: *mut Segment<T>, index: usize, extend: bool) -> Option<*mut Segment<T>> {
         loop {
-            // SAFETY: segments are never freed while the injector is alive.
+            // SAFETY: `from` was reachable from a hint while we are pinned
+            // (the `in_domain` contract), so even if it has since been
+            // retired it cannot be freed before our next quiescent point.
             let seg = unsafe { &*from };
             debug_assert!(seg.start <= index);
             if index < seg.start + SEGMENT_SLOTS {
@@ -158,7 +218,10 @@ impl<T: Send> Injector<T> {
                 Ordering::AcqRel,
                 Ordering::Acquire,
             ) {
-                Ok(_) => from = candidate,
+                Ok(_) => {
+                    self.segs_linked.fetch_add(1, Ordering::Relaxed);
+                    from = candidate;
+                }
                 Err(winner) => {
                     // SAFETY: the candidate was never published.
                     drop(unsafe { Box::from_raw(candidate) });
@@ -180,10 +243,12 @@ impl<T: Send> Injector<T> {
     pub fn push(&self, value: T) {
         let index = self.tail.fetch_add(1, Ordering::AcqRel);
         let mut hint = self.tail_seg.load(Ordering::Acquire);
-        // SAFETY: hints only ever point at live (never-freed) segments.
-        // Faster producers may have advanced the tail hint *past* our slot;
-        // fall back to the head hint, which cannot pass an unwritten slot
-        // (consumers stop at it), so it starts at or before `index`.
+        // SAFETY: a hint pointer loaded while pinned (the `in_domain`
+        // contract) stays dereferenceable until our next quiescent point,
+        // even if the segment is concurrently retired.  Faster producers may
+        // have advanced the tail hint *past* our slot; fall back to the head
+        // hint, which cannot pass an unwritten slot (consumers stop at it),
+        // so it starts at or before `index`.
         if unsafe { &*hint }.start > index {
             hint = self.head_seg.load(Ordering::Acquire);
         }
@@ -193,7 +258,9 @@ impl<T: Send> Injector<T> {
         if seg_ptr != hint {
             Self::advance_hint(&self.tail_seg, hint, seg_ptr);
         }
-        // SAFETY: segments are never freed while the injector is alive.
+        // SAFETY: see the hint-load comment above; our slot's segment cannot
+        // be retired before the slot is consumed, which requires the WRITTEN
+        // store below.
         let seg = unsafe { &*seg_ptr };
         let slot = seg.slot(index);
         debug_assert_eq!(slot.state.load(Ordering::Relaxed), EMPTY);
@@ -218,9 +285,10 @@ impl<T: Send> Injector<T> {
                 return Steal::Empty;
             }
             let hint = self.head_seg.load(Ordering::Acquire);
-            // SAFETY: hints point at live segments.  If the hint has already
-            // moved past our (stale) `head`, other consumers advanced the
-            // queue under us — re-read everything.
+            // SAFETY: loaded while pinned (`in_domain` contract), so the
+            // segment outlives this call even if retired concurrently.  If
+            // the hint has already moved past our (stale) `head`, other
+            // consumers advanced the queue under us — re-read everything.
             if unsafe { &*hint }.start > head {
                 continue;
             }
@@ -229,6 +297,16 @@ impl<T: Send> Injector<T> {
             let Some(seg_ptr) = self.segment_for(hint, head, false) else {
                 return Steal::Retry;
             };
+            if seg_ptr != hint {
+                // The hint lags behind the segment containing `head`: every
+                // segment strictly before `seg_ptr` holds only indices below
+                // `head` and is therefore fully consumed.  Advance the hint
+                // and retire the range (the CAS winner does it exactly
+                // once).  This also covers the boundary case where a
+                // segment's last slot was consumed before its successor was
+                // linked: the next pop retires it here.
+                self.advance_head_and_retire(hint, seg_ptr);
+            }
             let seg = unsafe { &*seg_ptr };
             let slot = seg.slot(head);
             if slot.state.load(Ordering::Acquire) != WRITTEN {
@@ -248,16 +326,71 @@ impl<T: Send> Injector<T> {
             // SAFETY: exactly one consumer claims each index.
             let value = unsafe { (*slot.value.get()).assume_init_read() };
             if head + 1 == seg.start + SEGMENT_SLOTS {
-                // We consumed the last slot of this segment: advance the
-                // head hint so later pops skip the walk.  The expected value
-                // is the hint we actually loaded, so a lagging hint still
-                // jumps forward.
+                // We consumed the last slot of this segment: if its
+                // successor is already linked, advance the head hint past it
+                // and retire it eagerly (otherwise the lag-detection above
+                // retires it on the next pop).
                 let next = seg.next.load(Ordering::Acquire);
                 if !next.is_null() {
-                    Self::advance_hint(&self.head_seg, hint, next);
+                    self.advance_head_and_retire(seg_ptr, next);
                 }
             }
             return Steal::Stolen(value);
+        }
+    }
+
+    /// Advances `head_seg` from `from` to `to` and, on winning that CAS,
+    /// retires every segment in `[from, to)` into the epoch domain.
+    ///
+    /// Exactly-once: successful CASes on `head_seg` form a chain of strictly
+    /// forward, contiguous hops (the next winner's `from` is this winner's
+    /// `to`), so the half-open ranges they claim are disjoint and cover each
+    /// segment once.  Every slot of the range is below `head` and therefore
+    /// consumed; racing readers still walking those segments are pinned and
+    /// protected by the deferred free (DESIGN.md §11).
+    fn advance_head_and_retire(&self, from: *mut Segment<T>, to: *mut Segment<T>) {
+        if self
+            .head_seg
+            .compare_exchange(from, to, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err()
+        {
+            // Another consumer advanced past `from`; that winner owns the
+            // retirement of the range.
+            return;
+        }
+        // SAFETY: `to` is reachable from the chain we are pinned against.
+        let to_start = unsafe { &*to }.start;
+        // Unlink the range from the *tail* hint too before deferring: a new
+        // producer must never be handed a pointer into memory that may be
+        // freed after its pin.  `tail >= head > every index of [from, to)`,
+        // so `to` is a valid (at-or-before-tail) hint value.
+        loop {
+            let t = self.tail_seg.load(Ordering::Acquire);
+            // SAFETY: `t` was reachable via a hint while pinned.
+            if unsafe { &*t }.start >= to_start {
+                break;
+            }
+            if self
+                .tail_seg
+                .compare_exchange(t, to, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                break;
+            }
+        }
+        let mut cur = from;
+        while cur != to {
+            // SAFETY: `cur` is in our exclusively claimed range; the link
+            // was written before the segment was linked in.
+            let next = unsafe { &*cur }.next.load(Ordering::Acquire);
+            self.segs_retired.fetch_add(1, Ordering::Relaxed);
+            // SAFETY: the range is unlinked from both hints (no new reader
+            // can reach it) and claimed exactly once; the segment came from
+            // `Segment::new`'s `Box::into_raw` and all its slots are
+            // consumed, so dropping the box frees no live value.
+            self.domain
+                .defer(unsafe { Deferred::from_box(cur, ReclaimClass::Segment) });
+            cur = next;
         }
     }
 
@@ -284,10 +417,12 @@ impl<T: Send> Injector<T> {
 impl<T> Drop for Injector<T> {
     fn drop(&mut self) {
         // `&mut self`: no concurrent producers or consumers.  Drop the
-        // values still in [head, tail), then free the whole segment chain.
+        // values still in [head, tail), then free the live segment chain —
+        // it starts at `head_seg`, because everything before it was already
+        // retired into the epoch domain (which frees it on its own drop).
         let head = *self.head.get_mut();
         let tail = *self.tail.get_mut();
-        let mut seg_ptr = self.first_seg;
+        let mut seg_ptr = *self.head_seg.get_mut();
         while !seg_ptr.is_null() {
             // SAFETY: the chain is only freed here, exactly once.
             let seg = unsafe { Box::from_raw(seg_ptr) };
@@ -418,6 +553,148 @@ mod tests {
             assert_eq!(s.load(Ordering::SeqCst), 1, "element {i} delivered exactly once");
         }
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn private_domain_retains_consumed_segments_until_drop() {
+        // `Injector::new()` has no collector: exhausted segments are
+        // deferred but never freed, so unpinned access stays sound.
+        let q: Injector<usize> = Injector::new();
+        let n = 5 * SEGMENT_SLOTS;
+        for i in 0..n {
+            q.push(i);
+        }
+        for i in 0..n {
+            assert_eq!(q.pop(), Some(i));
+        }
+        // All but the current segment were retired off the live chain.
+        assert!(q.live_segments() <= 2, "live: {}", q.live_segments());
+    }
+
+    #[test]
+    fn shared_domain_reclaims_consumed_segments() {
+        use teamsteal_util::epoch::Domain;
+
+        let domain = Domain::new(1);
+        let me = domain.register().expect("slot");
+        // SAFETY: the only accessor (this thread) pins around every call.
+        let q: Injector<usize> = unsafe { Injector::in_domain(Arc::clone(&domain)) };
+        let n = 20 * SEGMENT_SLOTS;
+        me.pin();
+        for i in 0..n {
+            q.push(i);
+        }
+        for i in 0..n {
+            assert_eq!(q.pop(), Some(i));
+            if i % SEGMENT_SLOTS == 0 {
+                me.pin(); // quiescent point between segments
+                domain.try_collect();
+            }
+        }
+        me.pin();
+        domain.try_collect();
+        me.pin();
+        let final_collect = domain.try_collect();
+        let (freed_segments, _, _) = domain.totals();
+        assert!(
+            freed_segments > 0,
+            "epoch collection must actually free consumed segments \
+             (freed {freed_segments}, last collect {final_collect:?})"
+        );
+        assert!(q.live_segments() <= 2, "live: {}", q.live_segments());
+        assert!(
+            domain.pending() <= 2 * SEGMENT_SLOTS,
+            "deferral window stays small, got {}",
+            domain.pending()
+        );
+    }
+
+    #[test]
+    fn pinned_mpmc_with_concurrent_collection_delivers_exactly_once() {
+        use teamsteal_util::epoch::Domain;
+
+        // The full protocol under contention: pinned producers and
+        // consumers, with consumers collecting as they go.  Every element
+        // delivered exactly once and no crash means no segment was freed
+        // under a racing reader.
+        const PRODUCERS: usize = 2;
+        const CONSUMERS: usize = 2;
+        const PER_PRODUCER: usize = 30_000;
+        let domain = Domain::new(PRODUCERS + CONSUMERS);
+        // SAFETY: every accessing thread below registers and pins.
+        let q: Arc<Injector<usize>> =
+            Arc::new(unsafe { Injector::in_domain(Arc::clone(&domain)) });
+        let seen = Arc::new(
+            (0..PRODUCERS * PER_PRODUCER)
+                .map(|_| StdAtomicUsize::new(0))
+                .collect::<Vec<_>>(),
+        );
+
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                let domain = Arc::clone(&domain);
+                std::thread::spawn(move || {
+                    let me = domain.register().expect("producer slot");
+                    for i in 0..PER_PRODUCER {
+                        me.pin();
+                        q.push(p * PER_PRODUCER + i);
+                    }
+                    me.unpin();
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..CONSUMERS)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let domain = Arc::clone(&domain);
+                let seen = Arc::clone(&seen);
+                std::thread::spawn(move || {
+                    let me = domain.register().expect("consumer slot");
+                    let mut taken = 0usize;
+                    let mut idle = 0u32;
+                    loop {
+                        me.pin();
+                        match q.try_pop() {
+                            Steal::Stolen(v) => {
+                                seen[v].fetch_add(1, Ordering::SeqCst);
+                                taken += 1;
+                                idle = 0;
+                                if taken % 64 == 0 {
+                                    me.pin(); // quiescent point
+                                    domain.try_collect();
+                                }
+                            }
+                            Steal::Retry => {}
+                            Steal::Empty => {
+                                idle += 1;
+                                if idle > 20_000 {
+                                    break;
+                                }
+                                me.unpin();
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    me.unpin();
+                    taken
+                })
+            })
+            .collect();
+        for producer in producers {
+            producer.join().unwrap();
+        }
+        let taken: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(taken, PRODUCERS * PER_PRODUCER, "every element delivered");
+        for (i, s) in seen.iter().enumerate() {
+            assert_eq!(s.load(Ordering::SeqCst), 1, "element {i} delivered exactly once");
+        }
+        let (freed_segments, _, _) = domain.totals();
+        assert!(freed_segments > 0, "concurrent run must reclaim segments");
+        assert!(
+            q.live_segments() < PRODUCERS * PER_PRODUCER / SEGMENT_SLOTS,
+            "retained segments must not scale with lifetime traffic"
+        );
     }
 
     #[test]

@@ -29,17 +29,33 @@
 //! and pops from its own queues); the deque checks it in debug builds via an
 //! owner-thread assertion.
 //!
-//! Memory management follows the classic "leaky buffer" variant of
-//! Chase–Lev: when the circular buffer grows, the old buffer is retired but
-//! not freed until the deque itself is dropped, so a thief holding a stale
-//! buffer pointer can always complete its read.  The retired memory is
-//! bounded by twice the high-water mark of the queue.
+//! # Memory management
+//!
+//! A thief may hold a stale buffer pointer while the owner grows the deque,
+//! so retired growth buffers cannot be freed immediately.  Two reclamation
+//! modes ship:
+//!
+//! * **Standalone** ([`RawDeque::new`] / [`RawDeque::with_capacity`]): the
+//!   classic "leaky buffer" variant of Chase–Lev — retired buffers are kept
+//!   on a list until the deque drops.  Bounded by twice the high-water mark
+//!   of the queue, and safe for unpinned callers.
+//! * **Epoch-reclaimed** ([`RawDeque::in_domain`]): retired buffers are
+//!   handed to a [`teamsteal_util::epoch::Domain`] and freed once every
+//!   registered participant has passed a quiescent point, so a long-lived
+//!   scheduler's footprint does not retain every buffer it ever grew
+//!   through.  The scheduler runs all its per-worker deques in this mode;
+//!   the safety argument shares DESIGN.md §11 with the injection queue.
+//!
+//! The [`Injector`]'s consumed segments follow the same epoch scheme (see
+//! the [`injector`] module docs).
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
 use std::sync::atomic::{AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+
+use teamsteal_util::epoch::{Deferred, Domain, ReclaimClass};
 
 pub mod injector;
 
@@ -101,9 +117,12 @@ pub struct RawDeque {
     top: AtomicIsize,
     bottom: AtomicIsize,
     buffer: AtomicPtr<Buffer>,
-    /// Retired buffers (kept until drop so stale readers stay valid) plus the
-    /// current buffer for ownership purposes.
+    /// Retired buffers kept until drop so stale readers stay valid.  Only
+    /// populated when no epoch domain is attached; empty otherwise (growth
+    /// defers directly into the domain).
     retired: Mutex<Vec<*mut Buffer>>,
+    /// Epoch domain retired buffers are deferred into, when attached.
+    domain: Option<Arc<Domain>>,
 }
 
 // SAFETY: all shared mutable state is accessed through atomics; buffer
@@ -133,8 +152,27 @@ impl RawDeque {
             top: AtomicIsize::new(0),
             bottom: AtomicIsize::new(0),
             buffer: AtomicPtr::new(buffer),
-            retired: Mutex::new(vec![buffer]),
+            retired: Mutex::new(Vec::new()),
+            domain: None,
         }
+    }
+
+    /// Creates an empty deque whose retired growth buffers are reclaimed
+    /// through `domain` instead of being retained until drop.
+    ///
+    /// # Safety
+    ///
+    /// For as long as `domain` can be collected
+    /// ([`teamsteal_util::epoch::Domain::try_collect`]), every thread
+    /// calling [`steal_top`](Self::steal_top) must do so while pinned to a
+    /// registered participant of that same domain, and must treat the
+    /// buffer pointer as dead across a repin.  The owner's
+    /// `push_bottom`/`pop_bottom` are exempt: the owner only ever
+    /// dereferences the *current* buffer, which is never deferred.
+    pub unsafe fn in_domain(domain: Arc<Domain>) -> Self {
+        let mut deque = Self::new();
+        deque.domain = Some(domain);
+        deque
     }
 
     /// Number of elements currently in the deque.  Like the paper's
@@ -155,11 +193,12 @@ impl RawDeque {
     pub fn push_bottom(&self, value: usize) {
         let b = self.bottom.load(Ordering::Relaxed);
         let t = self.top.load(Ordering::Acquire);
+        let buf_ptr = self.buffer.load(Ordering::Relaxed);
         // SAFETY: only the owner mutates the buffer pointer; loading it on the
         // owner thread is always current.
-        let mut buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
+        let mut buf = unsafe { &*buf_ptr };
         if b - t >= buf.capacity as isize {
-            buf = self.grow(buf, t, b);
+            buf = self.grow(buf_ptr, t, b);
         }
         buf.write(b, value);
         self.bottom.store(b + 1, Ordering::Release);
@@ -206,10 +245,12 @@ impl RawDeque {
         if t >= b {
             return Steal::Empty;
         }
-        // SAFETY: buffers are never freed while the deque is alive, so even a
-        // stale pointer remains readable; the value is only trusted if the CAS
-        // on `top` succeeds, and the owner never overwrites live slots in a
-        // retired buffer (growth copies them to the new buffer first).
+        // SAFETY: a stale buffer pointer remains readable — without a domain
+        // retired buffers live until drop, and with one they are freed only
+        // after this (pinned, per the `in_domain` contract) thief's next
+        // quiescent point.  The value is only trusted if the CAS on `top`
+        // succeeds, and the owner never overwrites live slots in a retired
+        // buffer (growth copies them to the new buffer first).
         let buf = unsafe { &*self.buffer.load(Ordering::Acquire) };
         let value = buf.read(t);
         if self
@@ -223,18 +264,32 @@ impl RawDeque {
         }
     }
 
-    fn grow(&self, old: &Buffer, top: isize, bottom: isize) -> &Buffer {
+    fn grow(&self, old_ptr: *mut Buffer, top: isize, bottom: isize) -> &Buffer {
+        // SAFETY: owner thread; the current buffer is live.
+        let old = unsafe { &*old_ptr };
         let new = Buffer::new(old.capacity * 2);
         for i in top..bottom {
             new.write(i, old.read(i));
         }
         let new_ptr = Box::into_raw(new);
         self.buffer.store(new_ptr, Ordering::Release);
-        self.retired
-            .lock()
-            .expect("deque retire list poisoned")
-            .push(new_ptr);
-        // SAFETY: the pointer was just created and registered for cleanup.
+        // Retire the old buffer: thieves may still read it through a stale
+        // pointer, but the owner never writes live slots into a retired
+        // buffer again (the live range was copied to the new one above).
+        match &self.domain {
+            // SAFETY: the buffer is unlinked (the `buffer` pointer moved on
+            // above, Release-ordered before this defer's epoch read), this
+            // retire path runs once per buffer, and pinned thieves are
+            // exactly what the deferred free waits out (`in_domain`
+            // contract).
+            Some(domain) => domain.defer(unsafe { Deferred::from_box(old_ptr, ReclaimClass::Buffer) }),
+            None => self
+                .retired
+                .lock()
+                .expect("deque retire list poisoned")
+                .push(old_ptr),
+        }
+        // SAFETY: the pointer was just created; it is freed at drop time.
         unsafe { &*new_ptr }
     }
 }
@@ -246,9 +301,12 @@ impl Drop for RawDeque {
         );
         for ptr in retired {
             // SAFETY: each pointer was created by Box::into_raw and is freed
-            // exactly once here.
+            // exactly once here (retired buffers are never also deferred).
             drop(unsafe { Box::from_raw(ptr) });
         }
+        // SAFETY: the current buffer is owned by the deque and freed only
+        // here; deferred buffers belong to the domain instead.
+        drop(unsafe { Box::from_raw(*self.buffer.get_mut()) });
     }
 }
 
@@ -447,6 +505,33 @@ mod tests {
             let _ = q.pop_bottom();
         }
         assert_eq!(DROPS.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn growth_with_domain_defers_and_reclaims_old_buffers() {
+        use teamsteal_util::epoch::Domain;
+
+        let domain = Domain::new(1);
+        let me = domain.register().expect("slot");
+        // SAFETY: single-threaded test; the only (owner) accessor needs no
+        // pin and there are no thieves.
+        let q = unsafe { RawDeque::in_domain(Arc::clone(&domain)) };
+        me.pin();
+        for i in 0..10 * MIN_CAPACITY {
+            q.push_bottom(i);
+        }
+        // Several doublings happened; all old buffers went to the domain.
+        assert!(domain.pending() >= 3, "pending: {}", domain.pending());
+        me.pin();
+        domain.try_collect();
+        me.pin();
+        domain.try_collect();
+        let (_, freed_buffers, _) = domain.totals();
+        assert!(freed_buffers >= 3, "freed: {freed_buffers}");
+        // Contents survive the reclamation churn.
+        for i in (0..10 * MIN_CAPACITY).rev() {
+            assert_eq!(q.pop_bottom(), Some(i));
+        }
     }
 
     #[test]

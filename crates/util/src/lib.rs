@@ -17,6 +17,9 @@
 //!   queue scan,
 //! * [`slab`] — a recycling slab allocator with an intrusive lock-free free
 //!   list, used for the per-worker task-node arenas,
+//! * [`epoch`] — epoch-based memory reclamation for the scheduler's
+//!   lock-free queues (injection-queue segments, deque growth buffers), so a
+//!   long-lived scheduler has bounded memory instead of leak-until-drop,
 //! * [`timing`] — monotonic timers and simple statistics used by the
 //!   benchmark harness.
 
@@ -25,6 +28,7 @@
 
 pub mod backoff;
 pub mod bits;
+pub mod epoch;
 pub mod rng;
 pub mod sendptr;
 pub mod slab;

@@ -50,8 +50,8 @@
 #![warn(missing_docs)]
 
 pub use teamsteal_core::{
-    enable_stall_debug, Job, MetricsSnapshot, Scheduler, SchedulerBuilder, SchedulerConfig, Scope,
-    StealAmount, StealPolicy, TaskContext, TeamBarrier, Topology,
+    enable_stall_debug, Job, MetricsSnapshot, ReclamationSnapshot, Scheduler, SchedulerBuilder,
+    SchedulerConfig, Scope, StealAmount, StealPolicy, TaskContext, TeamBarrier, Topology,
 };
 pub use teamsteal_data::{is_permutation_of, is_sorted, Distribution, Scale};
 pub use teamsteal_sort::{
