@@ -19,13 +19,21 @@
 //!   injection-queue segments and deferred-reclamation backlog between
 //!   scopes.  Its gauges (peak/final footprint) ride in the perf report's
 //!   `extra` object; the reclaimed counts are ordinary scheduler metrics.
+//! * [`wakeup_latency`] — external-submission wake latency: let every worker
+//!   park, submit one root task, measure submit → execution-start.  The
+//!   direct measurement of the parking subsystem's wake path (DESIGN.md
+//!   §12); its samples *are* the latencies, so the report's `median_s` /
+//!   `p95_s` read as seconds of wake latency.
+//! * [`idle_burn`] — CPU time an otherwise idle scheduler burns per second
+//!   of wall time.  Near-zero with event-driven parking; proportional to
+//!   `p / poll-interval` under sleep-polling.
 //!
 //! Every scenario validates its own execution count, so a scheduler that
 //! drops or duplicates tasks can never report a good time.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use teamsteal_core::Scheduler;
 use teamsteal_util::timing::time;
@@ -203,6 +211,99 @@ pub fn soak(scheduler: &Scheduler, scopes: usize, per_scope: usize) -> SoakOutco
     outcome
 }
 
+/// Pause between [`wakeup_latency`] submissions, long enough for every
+/// worker to exhaust its spin/yield prefix and commit an eventcount park.
+pub const WAKEUP_SETTLE: Duration = Duration::from_millis(2);
+
+/// Measures external-submission wake latency: `submissions` times, let the
+/// (empty) scheduler settle so its workers park, then submit one root task
+/// and record the time from just before the submission to the task's first
+/// instruction.  Returns one latency sample per submission.
+///
+/// The numbers include the submit path itself (node allocation, injector
+/// push) on top of the park-to-wake time, which is exactly what an external
+/// client of the scheduler experiences.
+///
+/// # Panics
+///
+/// Panics if any submission's task fails to execute.
+pub fn wakeup_latency(scheduler: &Scheduler, submissions: usize) -> Vec<Duration> {
+    let mut samples = Vec::with_capacity(submissions);
+    for _ in 0..submissions {
+        std::thread::sleep(WAKEUP_SETTLE);
+        let started_ns = Arc::new(AtomicU64::new(u64::MAX));
+        let cell = Arc::clone(&started_ns);
+        let submit = Instant::now();
+        scheduler.scope(|scope| {
+            scope.spawn(move |_| {
+                cell.store(submit.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            });
+        });
+        let ns = started_ns.load(Ordering::Relaxed);
+        assert_ne!(ns, u64::MAX, "wakeup_latency task never executed");
+        samples.push(Duration::from_nanos(ns));
+    }
+    samples
+}
+
+/// Gauges recorded by one [`idle_burn`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IdleBurnOutcome {
+    /// Wall-clock time of the measured idle interval.
+    pub wall: Duration,
+    /// CPU time the whole process consumed over the interval, or `None`
+    /// when the platform offers no cheap process-CPU clock (non-Linux).
+    pub cpu: Option<Duration>,
+}
+
+/// Measures the CPU time an idle scheduler burns: run one trivial task
+/// (so every worker is demonstrably alive), wait for the workers to park,
+/// then sample process CPU time across `wall` of doing nothing.
+///
+/// CPU time is read from `/proc/self/task/*/schedstat` (nanosecond
+/// granularity, covers every worker thread); on platforms without procfs
+/// the outcome's `cpu` is `None` and the caller should report the scenario
+/// as unavailable rather than as zero burn.
+pub fn idle_burn(scheduler: &Scheduler, wall: Duration) -> IdleBurnOutcome {
+    scheduler.run(|_| {});
+    // Let the workers drain their spin prefixes and park.
+    std::thread::sleep(WAKEUP_SETTLE * 4);
+    let before = process_cpu_time();
+    let start = Instant::now();
+    std::thread::sleep(wall);
+    let elapsed = start.elapsed();
+    let cpu = match (before, process_cpu_time()) {
+        (Some(b), Some(a)) => Some(a.saturating_sub(b)),
+        _ => None,
+    };
+    IdleBurnOutcome { wall: elapsed, cpu }
+}
+
+/// Total on-CPU time of every thread in this process, from
+/// `/proc/self/task/*/schedstat` (field 1, nanoseconds).  `None` when the
+/// interface is unavailable (non-Linux, restricted procfs).
+pub fn process_cpu_time() -> Option<Duration> {
+    let tasks = std::fs::read_dir("/proc/self/task").ok()?;
+    let mut total_ns = 0u64;
+    for task in tasks.flatten() {
+        let Ok(schedstat) = std::fs::read_to_string(task.path().join("schedstat")) else {
+            // A thread may exit between the readdir and the read; skip it.
+            continue;
+        };
+        // A transiently empty/partial read (thread torn down mid-read) must
+        // skip that thread, not poison the whole probe into `None`.
+        let Some(on_cpu) = schedstat
+            .split_whitespace()
+            .next()
+            .and_then(|field| field.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        total_ns += on_cpu;
+    }
+    Some(Duration::from_nanos(total_ns))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,6 +332,48 @@ mod tests {
         let scheduler = Scheduler::with_threads(2);
         let d = scope_inject(&scheduler, 50, 20);
         assert!(d > Duration::ZERO);
+    }
+
+    #[test]
+    fn wakeup_latency_returns_one_sample_per_submission() {
+        let scheduler = Scheduler::with_threads(2);
+        let samples = wakeup_latency(&scheduler, 5);
+        assert_eq!(samples.len(), 5);
+        assert!(samples.iter().all(|&s| s > Duration::ZERO));
+        // Wakes actually flowed through the parking subsystem.
+        let m = scheduler.metrics();
+        assert!(m.parks > 0, "workers never parked between submissions");
+        assert!(m.wakeups > 0, "submissions never woke a parked worker");
+    }
+
+    #[test]
+    fn idle_burn_measures_an_interval() {
+        let scheduler = Scheduler::with_threads(2);
+        let outcome = idle_burn(&scheduler, Duration::from_millis(50));
+        assert!(outcome.wall >= Duration::from_millis(50));
+        if let Some(cpu) = outcome.cpu {
+            // Parked workers burn (almost) nothing; allow generous slack for
+            // the test harness's own threads on a busy host.
+            assert!(
+                cpu < outcome.wall * 2,
+                "idle scheduler burned {cpu:?} CPU over {:?} wall",
+                outcome.wall
+            );
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn process_cpu_time_is_monotone_on_linux() {
+        let a = process_cpu_time().expect("procfs available on Linux");
+        // Burn a little CPU so the clock visibly advances.
+        let mut acc = 0u64;
+        for i in 0..2_000_000u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(acc);
+        let b = process_cpu_time().expect("procfs available on Linux");
+        assert!(b >= a);
     }
 
     #[test]

@@ -54,6 +54,8 @@ struct Sweeps {
     kernel: bool,
     micro: bool,
     soak: bool,
+    wakeup_latency: bool,
+    idle_burn: bool,
 }
 
 impl Default for Sweeps {
@@ -63,7 +65,31 @@ impl Default for Sweeps {
             kernel: true,
             micro: true,
             soak: true,
+            wakeup_latency: true,
+            idle_burn: true,
         }
+    }
+}
+
+impl Sweeps {
+    const NONE: Sweeps = Sweeps {
+        sort: false,
+        kernel: false,
+        micro: false,
+        soak: false,
+        wakeup_latency: false,
+        idle_burn: false,
+    };
+
+    /// `true` when any family writing into `BENCH_kernels.json` runs.
+    fn any_kernel_report_family(&self) -> bool {
+        self.kernel || self.micro || self.soak || self.wakeup_latency || self.idle_burn
+    }
+
+    /// `true` when every `BENCH_kernels.json` family runs (no carryover
+    /// needed).
+    fn all_kernel_report_families(&self) -> bool {
+        self.kernel && self.micro && self.soak && self.wakeup_latency && self.idle_burn
     }
 }
 
@@ -105,8 +131,8 @@ const HELP: &str = "Perf-trajectory harness (writes BENCH_sort.json / BENCH_kern
   --warmups N        untimed warmup runs per scenario (default 1)
   --seed N           input seed (default 42)
   --out-dir PATH     output directory (default .)
-  --only LIST        comma-separated sweep families to run:
-                     sort,kernel,micro,soak (default: all four)
+  --only LIST        comma-separated sweep families to run: sort,kernel,
+                     micro,soak,wakeup_latency,idle_burn (default: all six)
   --check FILE       fail (exit 1) on MMPar median regression vs baseline FILE;
                      with --smoke the comparison runs a dedicated MMPar pass at
                      the baseline's recorded size/threads so medians compare
@@ -162,21 +188,19 @@ fn parse_args() -> Result<Options, String> {
             "--out-dir" => opts.out_dir = PathBuf::from(value("a path")?),
             "--only" => {
                 let list = value("a list")?;
-                let mut sweeps = Sweeps {
-                    sort: false,
-                    kernel: false,
-                    micro: false,
-                    soak: false,
-                };
+                let mut sweeps = Sweeps::NONE;
                 for family in list.split(',') {
                     match family.trim() {
                         "sort" => sweeps.sort = true,
                         "kernel" => sweeps.kernel = true,
                         "micro" => sweeps.micro = true,
                         "soak" => sweeps.soak = true,
+                        "wakeup_latency" => sweeps.wakeup_latency = true,
+                        "idle_burn" => sweeps.idle_burn = true,
                         other => {
                             return Err(format!(
-                                "unknown sweep family '{other}' (expected sort, kernel, micro or soak)"
+                                "unknown sweep family '{other}' (expected sort, kernel, \
+                                 micro, soak, wakeup_latency or idle_burn)"
                             ))
                         }
                     }
@@ -587,6 +611,129 @@ fn sweep_soak(opts: &Options) -> Vec<RunRecord> {
     records
 }
 
+/// Sweeps the external-submission wake-latency scenario
+/// ([`micro::wakeup_latency`]) over the thread counts.  Unlike the other
+/// micros, the record's samples *are* the individual submit→start
+/// latencies, so `secs.median_s` / `secs.p95_s` read directly as seconds of
+/// wake latency (EXPERIMENTS.md).  The submission count is derived from
+/// `--size`; each submission is preceded by a settle pause so the workers
+/// actually park, which bounds how many are practical per run.
+fn sweep_wakeup_latency(opts: &Options) -> Vec<RunRecord> {
+    let submissions = (opts.size / 2_048).clamp(24, 240);
+    let warmup_submissions = opts.warmups.min(1) * 8;
+    let mut records = Vec::new();
+    for &threads in &opts.threads {
+        let scheduler = Scheduler::with_threads(threads);
+        if warmup_submissions > 0 {
+            micro::wakeup_latency(&scheduler, warmup_submissions);
+        }
+        let before = scheduler.metrics();
+        let mut stats = RunStats::new();
+        for latency in micro::wakeup_latency(&scheduler, submissions) {
+            stats.record(latency);
+        }
+        let metrics = scheduler.metrics().delta_since(&before);
+        let secs = TimingSummary::from_stats(&stats);
+        eprintln!(
+            "wakeup  | {submissions:>4} submits | p = {threads:>2} | median {:>8.1} us | p95 {:>8.1} us",
+            secs.median_s * 1e6,
+            secs.p95_s * 1e6
+        );
+        records.push(RunRecord {
+            group: "wakeup_latency".into(),
+            name: "wakeup_latency".into(),
+            distribution: None,
+            size: submissions,
+            threads,
+            warmups: warmup_submissions,
+            repetitions: submissions,
+            secs,
+            metrics,
+            seq_reference_s: None,
+            speedup_vs_seq: None,
+            extra: Some(JsonValue::Object(vec![(
+                "settle_ms".into(),
+                JsonValue::Number(micro::WAKEUP_SETTLE.as_secs_f64() * 1e3),
+            )])),
+        });
+    }
+    records
+}
+
+/// Sweeps the idle-CPU-burn scenario ([`micro::idle_burn`]) over the thread
+/// counts.  Each sample is the CPU time (seconds) the whole process burned
+/// across one idle wall interval — near-zero with event-driven parking,
+/// `O(p · interval / poll-cap)` under sleep-polling.  On platforms without
+/// a process-CPU clock the scenario is skipped (recording zeros would fake
+/// a perfect result).
+fn sweep_idle_burn(opts: &Options) -> Vec<RunRecord> {
+    if micro::process_cpu_time().is_none() {
+        eprintln!("idle    | skipped: no process-CPU clock on this platform");
+        return Vec::new();
+    }
+    let wall = if opts.smoke {
+        std::time::Duration::from_millis(150)
+    } else {
+        std::time::Duration::from_millis(500)
+    };
+    let mut records = Vec::new();
+    for &threads in &opts.threads {
+        let scheduler = Scheduler::with_threads(threads);
+        let before = scheduler.metrics();
+        let mut stats = RunStats::new();
+        let mut wall_total = std::time::Duration::ZERO;
+        let mut reps_recorded = 0usize;
+        for _ in 0..opts.reps {
+            let outcome = micro::idle_burn(&scheduler, wall);
+            // The probe can transiently fail (procfs race); skip the sample
+            // rather than abort the sweep.
+            let Some(cpu) = outcome.cpu else { continue };
+            stats.record(cpu);
+            wall_total += outcome.wall;
+            reps_recorded += 1;
+        }
+        if reps_recorded == 0 {
+            eprintln!("idle    | skipped p = {threads}: CPU probe failed every repetition");
+            continue;
+        }
+        let metrics = scheduler.metrics().delta_since(&before);
+        let secs = TimingSummary::from_stats(&stats);
+        let burn_ratio = if wall_total.as_secs_f64() > 0.0 {
+            stats.samples().iter().map(|d| d.as_secs_f64()).sum::<f64>()
+                / wall_total.as_secs_f64()
+        } else {
+            0.0
+        };
+        eprintln!(
+            "idle    | {:>4} ms wall | p = {threads:>2} | median {:>8.3} ms CPU | burn {:>6.4}",
+            wall.as_millis(),
+            secs.median_s * 1e3,
+            burn_ratio
+        );
+        records.push(RunRecord {
+            group: "idle_burn".into(),
+            name: "idle_burn".into(),
+            distribution: None,
+            size: wall.as_millis() as usize,
+            threads,
+            warmups: 0,
+            repetitions: reps_recorded,
+            secs,
+            metrics,
+            seq_reference_s: None,
+            speedup_vs_seq: None,
+            extra: Some(JsonValue::Object(vec![
+                (
+                    "wall_interval_s".into(),
+                    JsonValue::Number(wall.as_secs_f64()),
+                ),
+                ("cpu_per_wall".into(), JsonValue::Number(burn_ratio)),
+            ])),
+        });
+    }
+    records
+}
+
 /// Re-measures the checked variant (MMPar) at the baseline's recorded
 /// (distribution, size, threads) cells, so `--smoke --check` compares
 /// like-for-like medians instead of smoke-sized ones.  Repetitions and
@@ -724,13 +871,12 @@ fn run() -> Result<i32, String> {
         None
     };
 
-    if opts.sweeps.kernel || opts.sweeps.micro || opts.sweeps.soak {
+    if opts.sweeps.any_kernel_report_family() {
         let kernels_path = opts.out_dir.join("BENCH_kernels.json");
-        // A partial run (`--only kernel` / `--only micro` / `--only soak`)
-        // must not clobber the skipped families' records in an existing
-        // report at the destination: carry them over instead.
-        let all_families = opts.sweeps.kernel && opts.sweeps.micro && opts.sweeps.soak;
-        let preserved: Vec<RunRecord> = if all_families {
+        // A partial run (`--only kernel`, `--only soak`, …) must not clobber
+        // the skipped families' records in an existing report at the
+        // destination: carry them over instead.
+        let preserved: Vec<RunRecord> = if opts.sweeps.all_kernel_report_families() {
             Vec::new()
         } else {
             std::fs::read_to_string(&kernels_path)
@@ -744,31 +890,44 @@ fn run() -> Result<i32, String> {
                             (r.group == "kernel" && !opts.sweeps.kernel)
                                 || (r.group == "micro" && !opts.sweeps.micro)
                                 || (r.group == "soak" && !opts.sweeps.soak)
+                                || (r.group == "wakeup_latency" && !opts.sweeps.wakeup_latency)
+                                || (r.group == "idle_burn" && !opts.sweeps.idle_burn)
                         })
                         .collect()
                 })
                 .unwrap_or_default()
         };
-        // Stable record order: kernel records first, then micro, then soak.
-        let mut records = if opts.sweeps.kernel {
-            sweep_kernels(&opts).records
-        } else {
-            preserved
-                .iter()
-                .filter(|r| r.group == "kernel")
-                .cloned()
-                .collect()
+        // Stable record order: kernel, micro, soak, wakeup_latency,
+        // idle_burn.
+        let mut records: Vec<RunRecord> = Vec::new();
+        let family = |enabled: bool,
+                          group: &str,
+                          records: &mut Vec<RunRecord>,
+                          sweep: &mut dyn FnMut() -> Vec<RunRecord>| {
+            if enabled {
+                records.extend(sweep());
+            } else {
+                records.extend(preserved.iter().filter(|r| r.group == group).cloned());
+            }
         };
-        if opts.sweeps.micro {
-            records.extend(sweep_micro(&opts));
-        } else {
-            records.extend(preserved.iter().filter(|r| r.group == "micro").cloned());
-        }
-        if opts.sweeps.soak {
-            records.extend(sweep_soak(&opts));
-        } else {
-            records.extend(preserved.into_iter().filter(|r| r.group == "soak"));
-        }
+        family(opts.sweeps.kernel, "kernel", &mut records, &mut || {
+            sweep_kernels(&opts).records
+        });
+        family(opts.sweeps.micro, "micro", &mut records, &mut || {
+            sweep_micro(&opts)
+        });
+        family(opts.sweeps.soak, "soak", &mut records, &mut || {
+            sweep_soak(&opts)
+        });
+        family(
+            opts.sweeps.wakeup_latency,
+            "wakeup_latency",
+            &mut records,
+            &mut || sweep_wakeup_latency(&opts),
+        );
+        family(opts.sweeps.idle_burn, "idle_burn", &mut records, &mut || {
+            sweep_idle_burn(&opts)
+        });
         let kernel_report = new_report(&opts, "kernel", records);
         write_report(&kernels_path, &kernel_report)?;
     }

@@ -28,7 +28,7 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 
-use teamsteal_core::MetricsSnapshot;
+use teamsteal_core::{MetricsSnapshot, WakeLatencyHistogram};
 use teamsteal_util::timing::RunStats;
 
 /// Current value of the `schema_version` field written into every report.
@@ -501,15 +501,18 @@ impl TimingSummary {
     }
 }
 
-/// The scheduler-counter fields serialized into every record, in schema
-/// order.  Shared by the writer, the parser and the schema documentation.
+/// The scalar scheduler-counter fields serialized into every record, in
+/// schema order.  Shared by the writer, the parser and the schema
+/// documentation.
 ///
 /// `nodes_recycled`, `tasks_injected` and `liveness_resyncs` were added with
 /// the arena/injector runtime (PR 3); `segments_reclaimed`,
 /// `buffers_reclaimed` and `epoch_advances` with the epoch-reclamation
-/// subsystem (PR 4).  The parser defaults absent counters to zero so reports
+/// subsystem (PR 4); `parks`, `wakeups` and `spurious_wakes` (plus the
+/// non-scalar `wake_latency_us` bucket array) with the event-driven parking
+/// subsystem (PR 5).  The parser defaults absent counters to zero so reports
 /// written by earlier harnesses stay readable.
-const METRIC_FIELDS: [&str; 16] = [
+const METRIC_FIELDS: [&str; 19] = [
     "tasks_executed",
     "team_tasks_executed",
     "teams_formed",
@@ -526,7 +529,15 @@ const METRIC_FIELDS: [&str; 16] = [
     "segments_reclaimed",
     "buffers_reclaimed",
     "epoch_advances",
+    "parks",
+    "wakeups",
+    "spurious_wakes",
 ];
+
+/// Key of the wake-latency histogram inside the metrics object: one count
+/// per bucket, bounds `teamsteal_core::metrics::WAKE_LATENCY_BOUNDS_US`
+/// (last bucket unbounded).
+const WAKE_LATENCY_FIELD: &str = "wake_latency_us";
 
 fn metrics_to_json(m: &MetricsSnapshot) -> JsonValue {
     let values = [
@@ -546,14 +557,26 @@ fn metrics_to_json(m: &MetricsSnapshot) -> JsonValue {
         m.segments_reclaimed,
         m.buffers_reclaimed,
         m.epoch_advances,
+        m.parks,
+        m.wakeups,
+        m.spurious_wakes,
     ];
-    JsonValue::Object(
-        METRIC_FIELDS
-            .iter()
-            .zip(values)
-            .map(|(&k, v)| (k.to_string(), JsonValue::Number(v as f64)))
-            .collect(),
-    )
+    let mut pairs: Vec<(String, JsonValue)> = METRIC_FIELDS
+        .iter()
+        .zip(values)
+        .map(|(&k, v)| (k.to_string(), JsonValue::Number(v as f64)))
+        .collect();
+    pairs.push((
+        WAKE_LATENCY_FIELD.to_string(),
+        JsonValue::Array(
+            m.wake_latency
+                .buckets
+                .iter()
+                .map(|&b| JsonValue::Number(b as f64))
+                .collect(),
+        ),
+    ));
+    JsonValue::Object(pairs)
 }
 
 fn metrics_from_json(value: &JsonValue) -> Result<MetricsSnapshot, String> {
@@ -573,6 +596,14 @@ fn metrics_from_json(value: &JsonValue) -> Result<MetricsSnapshot, String> {
             .map(|n| n as u64)
             .unwrap_or(0)
     };
+    // The wake-latency histogram is a bucket array; absent (pre-PR 5
+    // baselines) or malformed entries default to all-zero.
+    let mut wake_latency = WakeLatencyHistogram::default();
+    if let Some(buckets) = value.get(WAKE_LATENCY_FIELD).and_then(JsonValue::as_array) {
+        for (slot, bucket) in wake_latency.buckets.iter_mut().zip(buckets) {
+            *slot = bucket.as_f64().unwrap_or(0.0) as u64;
+        }
+    }
     Ok(MetricsSnapshot {
         tasks_executed: field("tasks_executed")?,
         team_tasks_executed: field("team_tasks_executed")?,
@@ -590,6 +621,10 @@ fn metrics_from_json(value: &JsonValue) -> Result<MetricsSnapshot, String> {
         segments_reclaimed: optional_field("segments_reclaimed"),
         buffers_reclaimed: optional_field("buffers_reclaimed"),
         epoch_advances: optional_field("epoch_advances"),
+        parks: optional_field("parks"),
+        wakeups: optional_field("wakeups"),
+        spurious_wakes: optional_field("spurious_wakes"),
+        wake_latency,
     })
 }
 
@@ -992,6 +1027,12 @@ mod tests {
                 steals: 17,
                 teams_formed: 3,
                 registrations: 9,
+                parks: 12,
+                wakeups: 11,
+                spurious_wakes: 1,
+                wake_latency: WakeLatencyHistogram {
+                    buckets: [2, 5, 3, 1, 0, 0, 0, 0],
+                },
                 ..Default::default()
             },
             seq_reference_s: Some(median * 2.0),
@@ -1109,6 +1150,51 @@ mod tests {
         assert_eq!(summary.worst_s, 0.040);
         assert_eq!(summary.median_s, 0.025);
         assert_eq!(summary.samples_s.len(), 4);
+    }
+
+    #[test]
+    fn pre_parking_baselines_parse_with_defaulted_metrics() {
+        // A record written before PR 5 carries neither the parking scalars
+        // nor the wake-latency bucket array: strip them from a fresh record
+        // and the parser must default all of them to zero (so old committed
+        // baselines keep working as `--check` inputs).
+        let report = sample_report(0.010);
+        let text = report.to_json_string();
+        let mut value = JsonValue::parse(&text).unwrap();
+        if let JsonValue::Object(pairs) = &mut value {
+            if let Some((_, JsonValue::Array(records))) =
+                pairs.iter_mut().find(|(k, _)| k == "records")
+            {
+                for record in records {
+                    if let JsonValue::Object(fields) = record {
+                        if let Some((_, JsonValue::Object(metrics))) =
+                            fields.iter_mut().find(|(k, _)| k == "metrics")
+                        {
+                            metrics.retain(|(k, _)| {
+                                !matches!(
+                                    k.as_str(),
+                                    "parks" | "wakeups" | "spurious_wakes" | "wake_latency_us"
+                                )
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        let parsed = Report::from_json_str(&value.render()).expect("old schema parses");
+        for record in &parsed.records {
+            assert_eq!(record.metrics.parks, 0);
+            assert_eq!(record.metrics.wakeups, 0);
+            assert_eq!(record.metrics.spurious_wakes, 0);
+            assert_eq!(record.metrics.wake_latency, WakeLatencyHistogram::default());
+            // The pre-existing counters survived the strip.
+            assert_eq!(record.metrics.steals, 17);
+        }
+        // And a defaulted report round-trips stably.
+        assert_eq!(
+            Report::from_json_str(&parsed.to_json_string()).unwrap(),
+            parsed
+        );
     }
 
     #[test]

@@ -119,6 +119,49 @@ fn smoke_run_writes_complete_parseable_reports() {
         "soak retained {peak} segments over {} roots — reclamation inert?",
         soak.size
     );
+
+    // The parking scenarios: wakeup_latency's samples are the individual
+    // submit→start latencies and its metrics must show notified wakeups.
+    let wakeup = kernels
+        .records
+        .iter()
+        .find(|r| r.group == "wakeup_latency")
+        .expect("missing wakeup_latency record");
+    assert_eq!(wakeup.secs.samples_s.len(), wakeup.repetitions);
+    assert!(wakeup.secs.median_s > 0.0);
+    assert!(
+        wakeup.metrics.wakeups > 0,
+        "submissions never woke a parked worker: {:?}",
+        wakeup.metrics
+    );
+    assert!(
+        wakeup.metrics.wake_latency.total() > 0,
+        "no wake latencies recorded: {:?}",
+        wakeup.metrics
+    );
+    // idle_burn is skipped only on platforms without a process-CPU clock;
+    // CI and the recording machine are Linux.
+    if cfg!(target_os = "linux") {
+        let idle = kernels
+            .records
+            .iter()
+            .find(|r| r.group == "idle_burn")
+            .expect("missing idle_burn record");
+        let burn = idle
+            .extra
+            .as_ref()
+            .and_then(|e| e.get("cpu_per_wall"))
+            .and_then(|v| v.as_f64())
+            .expect("idle_burn extra missing cpu_per_wall");
+        // Parked workers burn (nearly) nothing; 50% of a core would mean
+        // the scenario regressed all the way back to busy-polling.  The
+        // sleep-poll baseline burned ~5% per idle worker, so even on a
+        // noisy CI host this bound separates parking from polling.
+        assert!(
+            burn < 0.5,
+            "idle scheduler burned {burn} CPU-seconds per wall-second"
+        );
+    }
 }
 
 #[test]

@@ -55,13 +55,20 @@ pub struct SchedulerConfig {
     pub steal_amount: StealAmount,
     /// Seed for the per-worker PRNGs (randomized policies and tie-breaking).
     pub seed: u64,
-    /// Upper bound on the sleep interval of *idle* workers (queues empty,
-    /// nothing to steal).  The paper uses exponential backoff from 1 µs to
-    /// 10 ms; a lower cap reduces wake-up latency when new root work arrives.
-    pub idle_sleep_cap: Duration,
-    /// Upper bound on the sleep interval of workers polling a coordinator for
-    /// team work.  Kept small so team start-up latency stays bounded.
-    pub member_poll_sleep_cap: Duration,
+    /// Unproductive spin/yield rounds a worker burns before committing to an
+    /// eventcount park (DESIGN.md §12).  The prefix keeps short contention
+    /// windows — a steal that will succeed on the next attempt, a countdown
+    /// about to hit zero — off the parking path entirely; past it the worker
+    /// blocks on the OS and is woken in O(µs) by the responsible event.
+    pub park_spin_rounds: u32,
+    /// Defensive upper bound on one eventcount park.  The parking protocol
+    /// does not rely on it (prepare → recheck → commit makes lost wakeups
+    /// impossible); it exists so that a *missed-notification bug* degrades
+    /// into bounded latency plus a visible `spurious_wakes` count instead of
+    /// a deadlock.  Parked workers cost one predicate re-check per backstop
+    /// expiry, so even the default keeps an idle scheduler's CPU use
+    /// negligible.
+    pub park_backstop: Duration,
 }
 
 impl Default for SchedulerConfig {
@@ -74,8 +81,8 @@ impl Default for SchedulerConfig {
             steal_policy: StealPolicy::Deterministic,
             steal_amount: StealAmount::TwoToLevel,
             seed: 0x7465616d_73746561, // "teamstea(l)"
-            idle_sleep_cap: Duration::from_micros(500),
-            member_poll_sleep_cap: Duration::from_micros(200),
+            park_spin_rounds: 16,
+            park_backstop: Duration::from_millis(100),
         }
     }
 }

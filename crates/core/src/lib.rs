@@ -69,6 +69,7 @@
 //! | [`context`] | [`TaskContext`] passed to every running task |
 //! | [`team`] | [`TeamBarrier`] for intra-team synchronization |
 //! | [`metrics`] | execution counters |
+//! | `sleep` | the parking/wakeup controller over the eventcount (DESIGN.md §12) |
 //! | `worker` | the worker loop implementing Algorithms 5–9 of the paper |
 
 #![warn(missing_docs)]
@@ -77,13 +78,14 @@ pub mod config;
 pub mod context;
 pub mod metrics;
 pub mod scheduler;
+mod sleep;
 pub mod task;
 pub mod team;
 mod worker;
 
 pub use config::{SchedulerConfig, StealAmount};
 pub use context::TaskContext;
-pub use metrics::MetricsSnapshot;
+pub use metrics::{MetricsSnapshot, WakeLatencyHistogram};
 pub use scheduler::{ReclamationSnapshot, Scheduler, SchedulerBuilder, Scope};
 pub use task::Job;
 pub use team::TeamBarrier;

@@ -7,6 +7,25 @@
 //! actually happened" rather than "the result happened to be correct").
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of buckets in the wake-latency histogram.
+pub const WAKE_LATENCY_BUCKETS: usize = 8;
+
+/// Upper bounds (exclusive, in microseconds) of the wake-latency buckets;
+/// the last bucket is unbounded.  Factor-4 spacing from 1 µs to 4 ms covers
+/// everything between "futex fast path" and "the backstop fired".
+pub const WAKE_LATENCY_BOUNDS_US: [u64; WAKE_LATENCY_BUCKETS - 1] =
+    [1, 4, 16, 64, 256, 1024, 4096];
+
+/// Index of the bucket a wake latency falls into.
+fn wake_latency_bucket(latency: Duration) -> usize {
+    let us = latency.as_micros() as u64;
+    WAKE_LATENCY_BOUNDS_US
+        .iter()
+        .position(|&bound| us < bound)
+        .unwrap_or(WAKE_LATENCY_BUCKETS - 1)
+}
 
 /// Relaxed event counters owned by one worker.
 #[derive(Debug, Default)]
@@ -51,6 +70,19 @@ pub struct WorkerCounters {
     pub buffers_reclaimed: AtomicU64,
     /// Global epoch advances won by this worker's collection calls.
     pub epoch_advances: AtomicU64,
+    /// Times this worker committed an eventcount park (blocked on the OS
+    /// instead of sleep-polling; DESIGN.md §12).
+    pub parks: AtomicU64,
+    /// Parks that ended through an explicit notification (a targeted claim
+    /// or a ticket movement) rather than the defensive backstop.
+    pub wakeups: AtomicU64,
+    /// Parks that ended through the backstop timeout.  (Almost) zero in
+    /// healthy runs; growth means a state change forgot its notify call.
+    pub spurious_wakes: AtomicU64,
+    /// Histogram of notification-to-wake latencies for parks that were
+    /// explicitly claimed by a notifier (bucket bounds:
+    /// [`WAKE_LATENCY_BOUNDS_US`]).
+    pub wake_latency: [AtomicU64; WAKE_LATENCY_BUCKETS],
 }
 
 impl WorkerCounters {
@@ -155,6 +187,30 @@ impl WorkerCounters {
         Self::bump(&self.epoch_advances);
     }
 
+    /// Increments the park counter.
+    #[inline]
+    pub fn inc_parks(&self) {
+        Self::bump(&self.parks);
+    }
+
+    /// Increments the notified-wakeup counter.
+    #[inline]
+    pub fn inc_wakeups(&self) {
+        Self::bump(&self.wakeups);
+    }
+
+    /// Increments the spurious-wake (backstop) counter.
+    #[inline]
+    pub fn inc_spurious_wakes(&self) {
+        Self::bump(&self.spurious_wakes);
+    }
+
+    /// Records one notification-to-wake latency sample.
+    #[inline]
+    pub fn record_wake_latency(&self, latency: Duration) {
+        Self::bump(&self.wake_latency[wake_latency_bucket(latency)]);
+    }
+
     /// Snapshot of this worker's counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -174,6 +230,72 @@ impl WorkerCounters {
             segments_reclaimed: self.segments_reclaimed.load(Ordering::Relaxed),
             buffers_reclaimed: self.buffers_reclaimed.load(Ordering::Relaxed),
             epoch_advances: self.epoch_advances.load(Ordering::Relaxed),
+            parks: self.parks.load(Ordering::Relaxed),
+            wakeups: self.wakeups.load(Ordering::Relaxed),
+            spurious_wakes: self.spurious_wakes.load(Ordering::Relaxed),
+            wake_latency: WakeLatencyHistogram {
+                buckets: std::array::from_fn(|i| self.wake_latency[i].load(Ordering::Relaxed)),
+            },
+        }
+    }
+}
+
+/// A point-in-time copy of the wake-latency histogram (bucket bounds:
+/// [`WAKE_LATENCY_BOUNDS_US`], last bucket unbounded).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WakeLatencyHistogram {
+    /// Sample count per bucket.
+    pub buckets: [u64; WAKE_LATENCY_BUCKETS],
+}
+
+impl WakeLatencyHistogram {
+    /// Total recorded samples.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Upper bound (µs) of the bucket containing the p-th percentile sample,
+    /// or `None` when there are no samples or the percentile lands in the
+    /// unbounded last bucket.  A coarse but monotone latency summary: "p95
+    /// ≤ 16 µs" style statements, which is all the regression gate needs.
+    ///
+    /// ```
+    /// use teamsteal_core::WakeLatencyHistogram;
+    ///
+    /// let h = WakeLatencyHistogram { buckets: [90, 8, 2, 0, 0, 0, 0, 0] };
+    /// assert_eq!(h.percentile_bound_us(50.0), Some(1));
+    /// assert_eq!(h.percentile_bound_us(95.0), Some(4));
+    /// assert_eq!(h.percentile_bound_us(99.0), Some(16));
+    /// ```
+    pub fn percentile_bound_us(&self, p: f64) -> Option<u64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let rank = (p / 100.0 * total as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &count) in self.buckets.iter().enumerate() {
+            seen += count;
+            if seen >= rank.max(1) {
+                return WAKE_LATENCY_BOUNDS_US.get(i).copied();
+            }
+        }
+        None
+    }
+
+    /// Element-wise sum.
+    pub fn merge(self, other: WakeLatencyHistogram) -> WakeLatencyHistogram {
+        WakeLatencyHistogram {
+            buckets: std::array::from_fn(|i| self.buckets[i] + other.buckets[i]),
+        }
+    }
+
+    /// Element-wise difference, saturating at zero.
+    pub fn delta_since(&self, earlier: &WakeLatencyHistogram) -> WakeLatencyHistogram {
+        WakeLatencyHistogram {
+            buckets: std::array::from_fn(|i| {
+                self.buckets[i].saturating_sub(earlier.buckets[i])
+            }),
         }
     }
 }
@@ -214,6 +336,15 @@ pub struct MetricsSnapshot {
     pub buffers_reclaimed: u64,
     /// Global epoch advances won by collection calls.
     pub epoch_advances: u64,
+    /// Eventcount parks committed (DESIGN.md §12).
+    pub parks: u64,
+    /// Parks ended by an explicit notification.
+    pub wakeups: u64,
+    /// Parks ended by the defensive backstop timeout ((almost) zero in
+    /// healthy runs).
+    pub spurious_wakes: u64,
+    /// Notification-to-wake latency histogram for claimed parks.
+    pub wake_latency: WakeLatencyHistogram,
 }
 
 impl MetricsSnapshot {
@@ -246,6 +377,10 @@ impl MetricsSnapshot {
             segments_reclaimed: self.segments_reclaimed + other.segments_reclaimed,
             buffers_reclaimed: self.buffers_reclaimed + other.buffers_reclaimed,
             epoch_advances: self.epoch_advances + other.epoch_advances,
+            parks: self.parks + other.parks,
+            wakeups: self.wakeups + other.wakeups,
+            spurious_wakes: self.spurious_wakes + other.spurious_wakes,
+            wake_latency: self.wake_latency.merge(other.wake_latency),
         }
     }
 
@@ -295,6 +430,10 @@ impl MetricsSnapshot {
                 .buffers_reclaimed
                 .saturating_sub(earlier.buffers_reclaimed),
             epoch_advances: self.epoch_advances.saturating_sub(earlier.epoch_advances),
+            parks: self.parks.saturating_sub(earlier.parks),
+            wakeups: self.wakeups.saturating_sub(earlier.wakeups),
+            spurious_wakes: self.spurious_wakes.saturating_sub(earlier.spurious_wakes),
+            wake_latency: self.wake_latency.delta_since(&earlier.wake_latency),
         }
     }
 
@@ -349,6 +488,10 @@ mod tests {
         c.add_segments_reclaimed(1);
         c.add_buffers_reclaimed(1);
         c.inc_epoch_advances();
+        c.inc_parks();
+        c.inc_wakeups();
+        c.inc_spurious_wakes();
+        c.record_wake_latency(Duration::from_micros(2));
         let s = c.snapshot();
         assert_eq!(
             s,
@@ -369,8 +512,33 @@ mod tests {
                 segments_reclaimed: 1,
                 buffers_reclaimed: 1,
                 epoch_advances: 1,
+                parks: 1,
+                wakeups: 1,
+                spurious_wakes: 1,
+                wake_latency: WakeLatencyHistogram {
+                    buckets: [0, 1, 0, 0, 0, 0, 0, 0],
+                },
             }
         );
+    }
+
+    #[test]
+    fn wake_latency_buckets_cover_the_range() {
+        let c = WorkerCounters::default();
+        c.record_wake_latency(Duration::from_nanos(100)); // < 1 µs
+        c.record_wake_latency(Duration::from_micros(3)); // [1, 4)
+        c.record_wake_latency(Duration::from_micros(100)); // [64, 256)
+        c.record_wake_latency(Duration::from_millis(50)); // >= 4096 µs
+        let h = c.snapshot().wake_latency;
+        assert_eq!(h.buckets, [1, 1, 0, 0, 1, 0, 0, 1]);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.percentile_bound_us(50.0), Some(4));
+        assert_eq!(h.percentile_bound_us(100.0), None, "top bucket unbounded");
+        assert_eq!(WakeLatencyHistogram::default().percentile_bound_us(95.0), None);
+        // Merge and delta are element-wise.
+        let merged = h.merge(h);
+        assert_eq!(merged.total(), 8);
+        assert_eq!(merged.delta_since(&h), h);
     }
 
     #[test]

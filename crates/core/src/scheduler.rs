@@ -113,6 +113,44 @@ impl SchedulerBuilder {
         self
     }
 
+    /// Sets the defensive upper bound on one eventcount park (see
+    /// [`SchedulerConfig::park_backstop`]): parked workers re-check their
+    /// wait condition at least this often even if a notification were lost.
+    /// The parking protocol does not rely on it; shrink it in paranoid
+    /// deployments, grow it to make idle wake-ups even rarer.
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use teamsteal_core::Scheduler;
+    ///
+    /// let scheduler = Scheduler::builder()
+    ///     .threads(2)
+    ///     .park_backstop(Duration::from_millis(250))
+    ///     .build();
+    /// scheduler.run(|_| {});
+    /// ```
+    pub fn park_backstop(mut self, backstop: std::time::Duration) -> Self {
+        self.config.park_backstop = backstop;
+        self
+    }
+
+    /// Sets the number of unproductive spin/yield rounds a blocking site
+    /// burns before parking (see [`SchedulerConfig::park_spin_rounds`]).
+    ///
+    /// ```
+    /// use teamsteal_core::Scheduler;
+    ///
+    /// let scheduler = Scheduler::builder()
+    ///     .threads(2)
+    ///     .park_spin_rounds(4)
+    ///     .build();
+    /// scheduler.run(|_| {});
+    /// ```
+    pub fn park_spin_rounds(mut self, rounds: u32) -> Self {
+        self.config.park_spin_rounds = rounds;
+        self
+    }
+
     /// Overrides the full configuration.
     ///
     /// ```
@@ -324,6 +362,10 @@ impl Drop for Scheduler {
         self.shared
             .shutdown
             .store(true, std::sync::atomic::Ordering::Release);
+        // Wake every parked worker so shutdown is observed in microseconds;
+        // the eventcount's ticket bump also covers workers that are
+        // mid-commit into a park.
+        self.shared.sleep.notify_all();
         for handle in self.threads.drain(..) {
             let _ = handle.join();
         }

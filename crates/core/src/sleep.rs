@@ -1,0 +1,268 @@
+//! The sleep controller: worker-count bookkeeping on top of the
+//! [`eventcount`](teamsteal_util::eventcount), so notifications are free
+//! when nobody sleeps (DESIGN.md §12).
+//!
+//! The eventcount makes parking *correct*; this module makes waking
+//! *cheap and targeted*.  It tracks how many workers are **sleeping**
+//! (parked on the eventcount) and how many are **searching** (running steal
+//! rounds with empty local queues) in one packed atomic, Rayon-style:
+//!
+//! * A producer with new anonymous work ([`SleepController::notify_work`])
+//!   loads the packed word once.  No sleepers ⇒ nothing to do.  A searcher
+//!   already active ⇒ also nothing to do — the searcher will find the work,
+//!   and waking a second worker would only add contention.  Only the
+//!   "sleepers, but no searcher" state pays for an actual wake.
+//! * Team handshake events (registration, publication, disband, countdown)
+//!   always notify their **specific** target worker(s) — these paths are
+//!   cold and a missed wake there costs milliseconds, so they never gate on
+//!   the counts.
+//!
+//! The sleeping count is incremented *before* the eventcount's
+//! `prepare_wait` (one `SeqCst` RMW) and a producer reads it *after* a
+//! `SeqCst` fence that follows its work publication, closing the classic
+//! Dekker race: either the producer observes the would-be sleeper (and
+//! issues the wake), or the sleeper's recheck observes the work (and does
+//! not park).  The full ordering argument lives in DESIGN.md §12.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::time::Duration;
+
+use teamsteal_util::eventcount::{EventCount, ParkClass, WakeReason};
+use teamsteal_util::CachePadded;
+
+/// One sleeping worker in the packed state word.
+const SLEEPING_ONE: u64 = 1;
+/// One searching worker in the packed state word.
+const SEARCHING_ONE: u64 = 1 << 32;
+
+#[inline]
+fn sleeping(state: u64) -> u64 {
+    state & 0xffff_ffff
+}
+
+#[inline]
+fn searching(state: u64) -> u64 {
+    state >> 32
+}
+
+/// Sleep/search bookkeeping plus the eventcount all workers park on.
+pub(crate) struct SleepController {
+    ec: EventCount,
+    /// Packed `searching << 32 | sleeping` worker counts.  Both fields are
+    /// bounded by the worker count, so the fields can never carry into each
+    /// other.
+    state: CachePadded<AtomicU64>,
+}
+
+impl SleepController {
+    pub(crate) fn new(workers: usize) -> SleepController {
+        SleepController {
+            ec: EventCount::new(workers),
+            state: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Number of workers currently parked (diagnostics).
+    pub(crate) fn sleepers(&self) -> u64 {
+        sleeping(self.state.load(Ordering::Relaxed))
+    }
+
+    /// Number of workers currently in a steal round (diagnostics).
+    pub(crate) fn searchers(&self) -> u64 {
+        searching(self.state.load(Ordering::Relaxed))
+    }
+
+    /// A worker enters the searching state (local queues empty, about to
+    /// run steal rounds).
+    pub(crate) fn start_search(&self) {
+        self.state.fetch_add(SEARCHING_ONE, Ordering::SeqCst);
+    }
+
+    /// A worker leaves the searching state without parking (it found work
+    /// or switched to a coordination path).
+    pub(crate) fn end_search(&self) {
+        self.state.fetch_sub(SEARCHING_ONE, Ordering::SeqCst);
+    }
+
+    /// `true` when at most this worker is searching — the "last searcher"
+    /// about to park should stay awake a little longer if work hints are
+    /// visible, so steal throughput does not collapse to wake latency.
+    pub(crate) fn is_last_searcher(&self) -> bool {
+        searching(self.state.load(Ordering::Relaxed)) <= 1
+    }
+
+    /// Step 1 of an **idle** park: the searching worker becomes a sleeper
+    /// (one RMW) and reads the eventcount ticket.  The caller must re-check
+    /// for work before [`park_idle`](Self::park_idle) and call
+    /// [`cancel_idle`](Self::cancel_idle) if the recheck fires.
+    pub(crate) fn prepare_idle(&self) -> u64 {
+        self.state
+            .fetch_add(SLEEPING_ONE.wrapping_sub(SEARCHING_ONE), Ordering::SeqCst);
+        self.ec.prepare_wait()
+    }
+
+    /// Aborts a prepared idle park (recheck found work): back to searching.
+    pub(crate) fn cancel_idle(&self) {
+        self.state
+            .fetch_add(SEARCHING_ONE.wrapping_sub(SLEEPING_ONE), Ordering::SeqCst);
+    }
+
+    /// Step 3 of an idle park: block.  On return the worker is a searcher
+    /// again (it re-enters its steal loop).
+    pub(crate) fn park_idle(&self, slot: usize, ticket: u64, backstop: Duration) -> WakeReason {
+        let reason = self.ec.park(slot, ticket, ParkClass::Idle, backstop);
+        self.state
+            .fetch_add(SEARCHING_ONE.wrapping_sub(SLEEPING_ONE), Ordering::SeqCst);
+        reason
+    }
+
+    /// Step 1 of a **handshake** park (member poll, coordinator wait, start
+    /// countdown): the worker becomes a sleeper without having been a
+    /// searcher.
+    pub(crate) fn prepare_handshake(&self) -> u64 {
+        self.state.fetch_add(SLEEPING_ONE, Ordering::SeqCst);
+        self.ec.prepare_wait()
+    }
+
+    /// Aborts a prepared handshake park.
+    pub(crate) fn cancel_handshake(&self) {
+        self.state.fetch_sub(SLEEPING_ONE, Ordering::SeqCst);
+    }
+
+    /// Step 3 of a handshake park: block until a targeted notification (or
+    /// the backstop).
+    pub(crate) fn park_handshake(
+        &self,
+        slot: usize,
+        ticket: u64,
+        backstop: Duration,
+    ) -> WakeReason {
+        let reason = self.ec.park(slot, ticket, ParkClass::Handshake, backstop);
+        self.state.fetch_sub(SLEEPING_ONE, Ordering::SeqCst);
+        reason
+    }
+
+    /// New anonymous work became visible (a spawn into an empty queue, an
+    /// injector push, a bulk steal leaving surplus).  Wakes one idle sleeper
+    /// unless nobody sleeps or a searcher is already scanning for exactly
+    /// this work.  `from_searcher` must be `true` when the **caller itself**
+    /// is counted as searching (the wake chains in the idle loop), so its
+    /// own count does not suppress the wake it is trying to send.  Returns
+    /// `true` if a sleeper was claimed.
+    pub(crate) fn notify_work(&self, from_searcher: bool) -> bool {
+        // The fence orders the caller's work publication before the count
+        // load, pairing with the RMW+fence in `prepare_*` (module docs).
+        fence(Ordering::SeqCst);
+        let state = self.state.load(Ordering::Relaxed);
+        if sleeping(state) == 0 || searching(state) > u64::from(from_searcher) {
+            return false;
+        }
+        self.ec.notify_one_idle()
+    }
+
+    /// `true` when any worker is parked, with the `SeqCst` fence that makes
+    /// the answer reliable against a concurrent `prepare_*` (module docs):
+    /// a `false` guarantees every not-yet-parked worker's recheck will see
+    /// the caller's preceding state change.
+    fn any_sleeper(&self) -> bool {
+        fence(Ordering::SeqCst);
+        sleeping(self.state.load(Ordering::Relaxed)) > 0
+    }
+
+    /// Targeted wake of one worker (handshake events).  Free when nobody is
+    /// parked; otherwise bumps the eventcount ticket (so a target
+    /// mid-commit can never sleep through the event) and claims the
+    /// target's slot if parked.  Returns `true` if the target was claimed.
+    pub(crate) fn notify_worker(&self, worker: usize) -> bool {
+        if !self.any_sleeper() {
+            return false;
+        }
+        self.ec.notify_slot(worker)
+    }
+
+    /// Targeted wake of a worker range minus the caller (team announcements,
+    /// publications, disbands).  Free when nobody is parked; otherwise one
+    /// ticket bump for the whole batch.
+    pub(crate) fn notify_workers(
+        &self,
+        workers: impl IntoIterator<Item = usize>,
+        except: usize,
+    ) -> usize {
+        if !self.any_sleeper() {
+            return 0;
+        }
+        self.ec
+            .notify_slots(workers.into_iter().filter(|&w| w != except))
+    }
+
+    /// Wakes every parked worker (shutdown, stall resync).
+    pub(crate) fn notify_all(&self) -> usize {
+        self.ec.notify_all()
+    }
+}
+
+impl std::fmt::Debug for SleepController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SleepController")
+            .field("sleepers", &self.sleepers())
+            .field("searchers", &self.searchers())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_track_transitions() {
+        let s = SleepController::new(2);
+        assert_eq!((s.sleepers(), s.searchers()), (0, 0));
+        s.start_search();
+        assert_eq!((s.sleepers(), s.searchers()), (0, 1));
+        assert!(s.is_last_searcher());
+        let t = s.prepare_idle();
+        assert_eq!((s.sleepers(), s.searchers()), (1, 0));
+        s.cancel_idle();
+        assert_eq!((s.sleepers(), s.searchers()), (0, 1));
+        s.end_search();
+        assert_eq!((s.sleepers(), s.searchers()), (0, 0));
+        let _ = t;
+    }
+
+    #[test]
+    fn notify_work_is_gated_on_the_counts() {
+        let s = SleepController::new(2);
+        // Nobody sleeping: nothing to wake.
+        assert!(!s.notify_work(false));
+        // A searcher is active: the work will be found without a wake.
+        s.start_search();
+        let _t = s.prepare_handshake(); // one sleeper (handshake)
+        assert_eq!((s.sleepers(), s.searchers()), (1, 1));
+        assert!(!s.notify_work(false));
+        // …unless the searcher is the *caller* chaining a wake: its own
+        // count must not suppress the notification (the scan still claims
+        // nobody here, because the only sleeper is a handshake park).
+        let _ = s.notify_work(true);
+        assert_eq!((s.sleepers(), s.searchers()), (1, 1));
+        s.cancel_handshake();
+        s.end_search();
+    }
+
+    #[test]
+    fn handshake_prepare_cancel_balances() {
+        let s = SleepController::new(1);
+        let _t = s.prepare_handshake();
+        assert_eq!(s.sleepers(), 1);
+        s.cancel_handshake();
+        assert_eq!(s.sleepers(), 0);
+    }
+
+    #[test]
+    fn notify_workers_skips_the_sender() {
+        let s = SleepController::new(4);
+        // No one parked: zero claims either way, but the call must not wake
+        // or count the sender's own slot.
+        assert_eq!(s.notify_workers(0..4, 2), 0);
+    }
+}

@@ -11,6 +11,7 @@
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use std::cell::UnsafeCell;
 
@@ -18,6 +19,7 @@ use teamsteal_deque::{Injector, RawDeque, Steal};
 use teamsteal_registration::{AcquireOutcome, AtomicRegistration, ReleaseOutcome};
 use teamsteal_topology::{StealPolicy, Topology};
 use teamsteal_util::epoch::{Domain, Participant};
+use teamsteal_util::eventcount::WakeReason;
 use teamsteal_util::rng::{worker_rng, Xoshiro256};
 use teamsteal_util::slab::Slab;
 use teamsteal_util::{bits, Backoff, CachePadded};
@@ -25,6 +27,7 @@ use teamsteal_util::{bits, Backoff, CachePadded};
 use crate::config::{SchedulerConfig, StealAmount};
 use crate::context::{SpawnTarget, TaskContext};
 use crate::metrics::WorkerCounters;
+use crate::sleep::SleepController;
 use crate::task::{JobSlot, ScopeState, TaskNode, TaskPtr};
 use crate::team::TeamBarrier;
 
@@ -250,9 +253,15 @@ pub(crate) struct SchedulerShared {
     pub(crate) topology: Topology,
     pub(crate) steal_policy: StealPolicy,
     pub(crate) steal_amount: StealAmount,
-    pub(crate) idle_sleep_cap: std::time::Duration,
-    pub(crate) member_poll_sleep_cap: std::time::Duration,
+    /// Spin/yield rounds before a blocking site commits to a park.
+    pub(crate) park_spin_rounds: u32,
+    /// Defensive cap on one park (see `SchedulerConfig::park_backstop`).
+    pub(crate) park_backstop: Duration,
     pub(crate) seed: u64,
+    /// The parking/wakeup subsystem: every blocking site parks here and
+    /// every state change that can unblock a worker notifies it
+    /// (DESIGN.md §12).
+    pub(crate) sleep: SleepController,
     /// Epoch-reclamation domain shared by the injector and every worker
     /// deque; sized for all workers plus the external-submitter pool
     /// (DESIGN.md §11).
@@ -281,9 +290,10 @@ impl SchedulerShared {
             topology,
             steal_policy: config.steal_policy,
             steal_amount: config.steal_amount,
-            idle_sleep_cap: config.idle_sleep_cap,
-            member_poll_sleep_cap: config.member_poll_sleep_cap,
+            park_spin_rounds: config.park_spin_rounds,
+            park_backstop: config.park_backstop,
             seed: config.seed,
+            sleep: SleepController::new(p),
             // SAFETY: all injector access goes through pinned participants —
             // workers pin for the whole loop iteration, external submitters
             // borrow a pinned slot via `ExternalPins::with_pinned`
@@ -304,10 +314,12 @@ impl SchedulerShared {
     /// shared by the stall reporter and `Scheduler::debug_state`.
     pub(crate) fn debug_state_line(&self) -> String {
         let mut line = format!(
-            "injector={} segs={} deferred={}",
+            "injector={} segs={} deferred={} sleepers={} searchers={}",
             self.injector.len(),
             self.injector.live_segments(),
             self.epoch.pending(),
+            self.sleep.sleepers(),
+            self.sleep.searchers(),
         );
         for (i, w) in self.workers.iter().enumerate() {
             let reg = w.reg.load();
@@ -327,10 +339,22 @@ impl SchedulerShared {
 
     /// Injects a root task from outside the worker pool.  Lock-free: one
     /// CAS to borrow an external epoch pin, one `fetch_add` plus a release
-    /// store in the queue, one release store to return the pin.
+    /// store in the queue, one release store to return the pin — then a
+    /// wake for a parked worker, so external submissions reach an idle
+    /// scheduler in microseconds instead of a sleep-poll interval.
     pub(crate) fn inject(&self, ptr: *mut TaskNode) {
-        self.external_pins
+        let observed_empty = self
+            .external_pins
             .with_pinned(|| self.injector.push(TaskPtr(ptr)));
+        // Wake hint: a push that observed other elements in flight needs no
+        // wake — the transition push that made the queue non-empty already
+        // issued one (workers never park while the injector is visibly
+        // non-empty, and the consumer of each injected task chains a wake
+        // while elements remain), so skipping here only merges redundant
+        // notifications, never loses one.
+        if observed_empty {
+            self.sleep.notify_work(false);
+        }
     }
 
     /// Frees any task nodes still sitting in queues or the injector.  Called
@@ -360,16 +384,26 @@ impl SchedulerShared {
     }
 }
 
-/// Unproductive poll rounds after which a coordinator withdraws and
-/// re-announces its requirement (≈1.6 s at the default 200 µs poll-sleep
-/// cap).  Liveness backstop for the grow/shrink handshake; see
-/// `coordinate_level`.
-const COORDINATOR_RESYNC_ROUNDS: u32 = 8192;
+/// Unproductive streak after which a coordinator withdraws and re-announces
+/// its requirement (the same ≈1.6 s the pre-parking round counter encoded).
+/// Liveness backstop for the grow/shrink handshake; see `coordinate_level`.
+/// Expressed in wall time because parked workers accumulate *rounds* only on
+/// wakes, which have no fixed cadence.
+const COORDINATOR_RESYNC_AFTER: Duration = Duration::from_millis(1600);
 
-/// Unproductive poll rounds after which a registered-but-unteamed member
-/// deregisters and re-synchronizes from scratch (≈0.8 s).  Liveness backstop
-/// for a member that missed a registration update; see `member_step`.
-const MEMBER_RESYNC_ROUNDS: u32 = 4096;
+/// Unproductive streak after which a registered-but-unteamed member
+/// deregisters and re-synchronizes from scratch (≈0.8 s, as before the
+/// parking rework).  Liveness backstop for a member that missed a
+/// registration update; see `member_step`.
+const MEMBER_RESYNC_AFTER: Duration = Duration::from_millis(800);
+
+/// Extra steal rounds the **last searching** worker runs before it commits
+/// to a park while work hints (occupancy bits, injector elements) are still
+/// visible.  Keeps steal throughput from collapsing to wake latency when one
+/// producer feeds the whole pool; bounded so a stale occupancy hint (a bit
+/// the busy owner has not healed yet) cannot pin a searcher to the CPU
+/// forever.
+const LAST_SEARCHER_EXTRA_ROUNDS: u32 = 64;
 
 /// Outcome of one `pollPartners` round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -397,11 +431,17 @@ pub(crate) struct Worker {
     /// Renewal counter recorded at registration time, per coordinator.
     registered_counter: Vec<u16>,
     /// This worker's epoch participant.  Pinned at the top of every loop
-    /// iteration (a quiescent point), unpinned around sleeps so a parked
+    /// iteration (a quiescent point), unpinned around parks so a sleeping
     /// worker never stalls reclamation (DESIGN.md §11).
     participant: Participant,
     /// Loop iterations since start; rate-limits busy-path collection.
     loop_ticks: u64,
+    /// `true` while this worker is counted as searching in the sleep
+    /// controller (idle, running steal rounds).
+    searching: bool,
+    /// Consecutive idle parks this worker skipped under the bounded
+    /// last-searcher rule; reset whenever it finds work.
+    last_searcher_rounds: u32,
 }
 
 impl Worker {
@@ -420,6 +460,8 @@ impl Worker {
             registered_counter: vec![0; p],
             participant,
             loop_ticks: 0,
+            searching: false,
+            last_searcher_rounds: 0,
         }
     }
 
@@ -435,14 +477,53 @@ impl Worker {
         self.me().counters.add_buffers_reclaimed(freed.freed_buffers);
     }
 
-    /// Backoff-sleeps with the epoch pin released, so a waiting worker never
-    /// blocks the global epoch.  Every wait site holds no protected pointer
-    /// across the sleep; the caller's next protected access happens after
-    /// the repin here (a fresh quiescent point).
-    fn unpinned_wait(&self, backoff: &mut Backoff, cap: std::time::Duration) {
+    /// One spin/yield round of a blocking site's pre-park prefix, with the
+    /// epoch pin released around the (potentially descheduling) yield so a
+    /// preempted worker never blocks the global epoch.  The caller's next
+    /// protected access happens after the repin (a fresh quiescent point).
+    fn unpinned_spin(&self, backoff: &mut Backoff) {
         self.participant.unpin();
-        backoff.wait_capped(cap);
+        backoff.spin_light();
         self.participant.pin();
+    }
+
+    /// `true` once `backoff` has exhausted the configured spin/yield prefix
+    /// and the blocking site should park on the eventcount.
+    fn should_park(&self, backoff: &Backoff) -> bool {
+        backoff.should_park(self.shared.park_spin_rounds)
+    }
+
+    /// Blocks on this worker's eventcount slot for a **handshake** wait
+    /// (member poll, coordinator wait, start countdown).  The caller has
+    /// already prepared (`ticket`) and re-checked its condition; this
+    /// unpins around the block (DESIGN.md §11) and records the wake in the
+    /// metrics.  Every wake counts one backoff round so streak time and the
+    /// stall reports keep working.
+    fn commit_handshake_park(&self, backoff: &mut Backoff, ticket: u64) {
+        self.me().counters.inc_parks();
+        self.participant.unpin();
+        let reason = self
+            .shared
+            .sleep
+            .park_handshake(self.id, ticket, self.shared.park_backstop);
+        self.participant.pin();
+        self.record_wake(reason);
+        backoff.note_round();
+    }
+
+    /// Metrics accounting for one park outcome.
+    fn record_wake(&self, reason: WakeReason) {
+        match reason {
+            WakeReason::Notified(latency) => {
+                self.me().counters.inc_wakeups();
+                self.me().counters.record_wake_latency(latency);
+            }
+            // The global ticket moved: a notification happened somewhere
+            // while we were committing.  It woke us, so it counts as a
+            // wakeup, but it carries no per-slot latency sample.
+            WakeReason::TicketChanged => self.me().counters.inc_wakeups(),
+            WakeReason::Backstop => self.me().counters.inc_spurious_wakes(),
+        }
     }
 
     #[inline]
@@ -461,21 +542,24 @@ impl Worker {
             || FORCE_STALL_DEBUG.load(Ordering::Acquire)
     }
 
-    /// Prints the scheduler-wide state when a wait loop has gone around
-    /// `rounds` times without progress — at rounds 512, 1024, 2048, … and,
-    /// so that dumps keep coming when the debug switch is flipped on *after*
-    /// a hang started, at every later multiple of 4096.  Only active when
+    /// Prints the scheduler-wide state when a wait site has been
+    /// unproductive for over a second, rate-limited to every 16th round so
+    /// backstop-paced wakes (~10/s) keep dumping while a hang persists —
+    /// including when the debug switch is flipped on *after* the hang
+    /// started (the test watchdog does exactly that).  Only active when
     /// stall debugging is enabled; the diagnostic path takes no locks.
-    fn stall_report(&self, site: &str, rounds: u32) {
+    fn stall_report(&self, site: &str, backoff: &Backoff) {
         if !Self::stall_debug_enabled() {
             return;
         }
-        if rounds < 512 || (rounds.count_ones() != 1 && rounds % 4096 != 0) {
+        let rounds = backoff.rounds();
+        if backoff.unproductive_for() < Duration::from_secs(1) || rounds % 16 != 0 || rounds == 0 {
             return;
         }
         eprintln!(
-            "[teamsteal stall] worker {} at {site} after {rounds} rounds | {}",
+            "[teamsteal stall] worker {} at {site} after {rounds} rounds ({:?}) | {}",
             self.id,
+            backoff.unproductive_for(),
             self.shared.debug_state_line()
         );
     }
@@ -506,12 +590,14 @@ impl Worker {
             if coordinator != self.id {
                 // paper: Algorithm 5 lines 7–14 — this worker is registered
                 // with another coordinator; run its published task or help.
+                self.quit_search();
                 self.member_step(coordinator, &mut idle);
                 continue;
             }
             // Refinement 1: while a team is formed, keep working on the queue
             // of that size before looking at smaller tasks.
             if let Some(level) = self.preferred_level() {
+                self.quit_search();
                 idle.reset();
                 self.work_on_level(level);
                 continue;
@@ -520,19 +606,115 @@ impl Worker {
             // (Lemma 1: "the team will dissolve ... as soon as the current
             // coordinator's queue runs empty") and go stealing.
             self.release_team_if_any();
+            self.enter_search();
             if self.pop_injected() || self.steal_round() {
+                self.last_searcher_rounds = 0;
                 idle.reset();
                 continue;
             }
             self.me().counters.inc_failed_steal_rounds();
-            self.stall_report("idle/steal", idle.rounds());
+            self.stall_report("idle/steal", &idle);
             // An idle round is the cheapest quiescent point there is:
-            // collect before parking, then sleep unpinned so reclamation
+            // collect before parking, then park unpinned so reclamation
             // never waits on a sleeper.
             self.collect_epoch();
-            self.unpinned_wait(&mut idle, self.shared.idle_sleep_cap);
+            self.idle_park(&mut idle);
         }
+        self.quit_search();
         self.participant.unpin();
+    }
+
+    /// Announces this worker as searching (about to run steal rounds) to the
+    /// sleep controller, once per idle episode.
+    fn enter_search(&mut self) {
+        if !self.searching {
+            self.searching = true;
+            self.shared.sleep.start_search();
+        }
+    }
+
+    /// Withdraws the searching announcement (work found, coordination path
+    /// entered, or shutdown).
+    fn quit_search(&mut self) {
+        if self.searching {
+            self.searching = false;
+            self.shared.sleep.end_search();
+            self.last_searcher_rounds = 0;
+        }
+    }
+
+    /// One idle blocking round: spin/yield prefix, bounded last-searcher
+    /// stay-awake, then the eventcount park protocol
+    /// (prepare → recheck → commit) of DESIGN.md §12.
+    fn idle_park(&mut self, idle: &mut Backoff) {
+        debug_assert!(self.searching);
+        if !self.should_park(idle) {
+            self.unpinned_spin(idle);
+            return;
+        }
+        // Bounded "last searcher stays awake": while this is the only
+        // searching worker and work hints are visible, burn a few more
+        // steal rounds instead of trading the whole pool's steal throughput
+        // for a park/wake round-trip per task.  Bounded, because an
+        // unhealed occupancy hint must not pin us to the CPU forever — the
+        // eventcount makes parking with work present merely slower, never
+        // incorrect.
+        if self.shared.sleep.is_last_searcher()
+            && self.last_searcher_rounds < LAST_SEARCHER_EXTRA_ROUNDS
+            && self.work_hints_visible()
+        {
+            self.last_searcher_rounds += 1;
+            self.unpinned_spin(idle);
+            return;
+        }
+        // Park protocol.  The prepare announces us as a sleeper *before*
+        // the recheck, so any producer that publishes work after the
+        // recheck is guaranteed to observe a sleeper and wake it
+        // (DESIGN.md §12 rows A/B); anything published before is seen by
+        // the recheck itself.
+        let ticket = self.shared.sleep.prepare_idle();
+        if self.shared.shutdown.load(Ordering::Acquire) || self.work_hints_visible() {
+            self.shared.sleep.cancel_idle();
+            idle.note_round();
+            return;
+        }
+        self.me().counters.inc_parks();
+        self.participant.unpin();
+        let reason = self
+            .shared
+            .sleep
+            .park_idle(self.id, ticket, self.shared.park_backstop);
+        self.participant.pin();
+        self.record_wake(reason);
+        idle.note_round();
+    }
+
+    /// Cheap scan for any sign of obtainable work: a queued injector
+    /// element, a possibly non-empty foreign queue, or a team advertisement
+    /// this worker could register for.  Reads only top-level atomics
+    /// (occupancy words, registration words, injector indices), so it is
+    /// safe while unpinned and cheap enough to run as the park recheck.
+    fn work_hints_visible(&self) -> bool {
+        if !self.shared.injector.is_empty() {
+            return true;
+        }
+        for (other, w) in self.shared.workers.iter().enumerate() {
+            if other == self.id {
+                continue;
+            }
+            if w.occupancy.load(Ordering::Relaxed) != 0 {
+                return true;
+            }
+            let reg = w.reg.load();
+            let required = reg.required as usize;
+            if required > 1
+                && !reg.is_complete()
+                && self.topo().overlap(other, self.id, required)
+            {
+                return true;
+            }
+        }
+        false
     }
 
     /// The queue level this worker should work on next: the formed team's
@@ -631,6 +813,8 @@ impl Worker {
             // Next task is smaller than the current team: shrink (Section 3.1).
             self.wait_countdown_zero();
             self.me().reg.shrink_team(team_size as u16);
+            // Members dropped by the shrink may be parked polling us.
+            self.notify_team_range(me, cur.teamed as usize);
         } else if cur.teamed > 1 && (cur.teamed as usize) < team_size {
             // paper, Section 3.1: "If the next task is larger, the coordinator
             // breaks up the team as soon as execution of the previous task has
@@ -643,11 +827,19 @@ impl Worker {
             self.wait_countdown_zero();
             self.me().reg.disband();
             self.me().reg.push_requirement(team_size as u16);
+            // Wake both the freed members of the old (smaller) team and the
+            // candidates of the new, larger one.
+            self.notify_team_range(me, cur.teamed as usize);
+            self.notify_team_range(me, team_size);
         } else if (cur.required as usize) != team_size {
             self.me().reg.push_requirement(team_size as u16);
+            // A new advertisement: candidates may be parked idle or polling
+            // a competing coordinator they would switch away from.
+            self.notify_team_range(me, team_size);
         }
 
         let mut backoff = Backoff::new();
+        let mut resyncs_fired = 0u32;
         loop {
             if self.shared.shutdown.load(Ordering::Acquire) {
                 return;
@@ -707,17 +899,46 @@ impl Worker {
                         // forcing every registrant to re-register; any
                         // correctly waiting member re-acquires within one
                         // poll round, so the cost of a false positive is one
-                        // extra CAS per member.
-                        if backoff.rounds() >= COORDINATOR_RESYNC_ROUNDS
-                            && backoff.rounds() % COORDINATOR_RESYNC_ROUNDS == 0
+                        // extra CAS per member.  Time-based: a parked
+                        // coordinator accumulates rounds only on wakes.
+                        if backoff.unproductive_for()
+                            >= COORDINATOR_RESYNC_AFTER * (resyncs_fired + 1)
                             && !self.me().reg.load().has_team()
                         {
+                            resyncs_fired += 1;
                             self.me().reg.disband();
                             self.me().reg.push_requirement(team_size as u16);
                             self.me().counters.inc_liveness_resyncs();
+                            // Stall resync is a whole-scheduler event: wake
+                            // everyone so no stale park outlives it.
+                            self.shared.sleep.notify_all();
                         }
-                        self.stall_report("coordinate_level", backoff.rounds());
-                        self.unpinned_wait(&mut backoff, self.shared.member_poll_sleep_cap);
+                        self.stall_report("coordinate_level", &backoff);
+                        if !self.should_park(&backoff) {
+                            self.unpinned_spin(&mut backoff);
+                            continue;
+                        }
+                        // Park until a registration/release changes our
+                        // word, a thief drains the level, or the poll finds
+                        // a partner event (prepare → recheck → commit;
+                        // DESIGN.md §12).
+                        let ticket = self.shared.sleep.prepare_handshake();
+                        if self.shared.shutdown.load(Ordering::Acquire)
+                            || self.me().reg.load() != reg
+                            || self.me().queues[level].is_empty()
+                        {
+                            self.shared.sleep.cancel_handshake();
+                            backoff.note_round();
+                            continue;
+                        }
+                        match self.poll_partners(me, team_size, level) {
+                            PollOutcome::Switched | PollOutcome::Helped => {
+                                self.shared.sleep.cancel_handshake();
+                                return;
+                            }
+                            PollOutcome::Nothing => {}
+                        }
+                        self.commit_handshake_park(&mut backoff, ticket);
                     }
                 }
             }
@@ -770,6 +991,9 @@ impl Worker {
         self.me().publish_size.store(team_size, Ordering::Relaxed);
         self.me().publish_task.store(ptr, Ordering::Relaxed);
         self.me().publish_seq.store(seq + 2, Ordering::Release);
+        // Wake the members: they park between publications (member_step)
+        // and must observe this one before the start countdown can drain.
+        self.shared.sleep.notify_workers(base..base + team_size, me);
 
         // Run our own share of the task.
         // SAFETY: barrier was just written by us.
@@ -796,14 +1020,27 @@ impl Worker {
         while self.me().start_countdown.load(Ordering::Acquire) > 0 {
             // Liveness: at shutdown, members may exit their run loop without
             // picking up a published task (and thus without decrementing G).
-            // A coordinator spinning here forever would then deadlock the
+            // A coordinator blocking here forever would then deadlock the
             // scheduler's drop-join.  Shutdown is only set after every scope
             // has drained, so abandoning the wait cannot lose work.
             if self.shared.shutdown.load(Ordering::Acquire) {
                 return;
             }
-            self.stall_report("wait_countdown", backoff.rounds());
-            self.unpinned_wait(&mut backoff, self.shared.member_poll_sleep_cap);
+            self.stall_report("wait_countdown", &backoff);
+            if !self.should_park(&backoff) {
+                self.unpinned_spin(&mut backoff);
+                continue;
+            }
+            // Park until the member whose decrement reaches zero notifies
+            // us (member_step), shutdown broadcasts, or the backstop fires.
+            let ticket = self.shared.sleep.prepare_handshake();
+            if self.me().start_countdown.load(Ordering::Acquire) == 0
+                || self.shared.shutdown.load(Ordering::Acquire)
+            {
+                self.shared.sleep.cancel_handshake();
+                continue;
+            }
+            self.commit_handshake_park(&mut backoff, ticket);
         }
     }
 
@@ -814,6 +1051,21 @@ impl Worker {
         if reg.teamed > 1 || reg.required > 1 {
             self.wait_countdown_zero();
             self.me().reg.disband();
+            // Freed members and pending registrants may be parked polling
+            // this registration word.
+            self.notify_team_range(self.id, reg.teamed.max(reg.required) as usize);
+        }
+    }
+
+    /// Wakes every worker that could act on a change of `coordinator`'s
+    /// registration word for requirement `r` (announcement, disband,
+    /// shrink): the aligned team block, minus the caller.  One eventcount
+    /// ticket bump for the whole range, so a candidate mid-park-commit can
+    /// never sleep through the event.
+    fn notify_team_range(&self, coordinator: usize, r: usize) {
+        if r > 1 {
+            let range = self.topo().team_for(coordinator, r);
+            self.shared.sleep.notify_workers(range, self.id);
         }
     }
 
@@ -829,14 +1081,19 @@ impl Worker {
             self.leave_coordinator();
             return;
         }
-        self.stall_report("member_step", backoff.rounds());
+        self.stall_report("member_step", backoff);
         // 1. Is there a published task for us?
         if let Some((ptr, base, size, seq)) = self.read_publication(cid) {
             self.last_seen_seq[cid] = seq;
             if (base..base + size).contains(&me) {
-                self.shared.workers[cid]
+                let prev = self.shared.workers[cid]
                     .start_countdown
                     .fetch_sub(1, Ordering::AcqRel);
+                if prev == 1 {
+                    // Ours was the last pick-up: the coordinator may be
+                    // parked in `wait_countdown_zero`.
+                    self.shared.sleep.notify_worker(cid);
+                }
                 self.run_team_member(ptr, base, size);
                 backoff.reset();
                 return;
@@ -845,12 +1102,27 @@ impl Worker {
             // it; fall through to the validity checks.
         }
         let creg = self.shared.workers[cid].reg.load();
-        // 2. Are we part of a formed team?  Then we only poll for work
+        // 2. Are we part of a formed team?  Then we only wait for work
         // (Section 3: "Teamed up threads are not allowed to do any
-        // coordination work, except polling the coordinator").
+        // coordination work, except polling the coordinator") — parked on
+        // our eventcount slot until the coordinator publishes, resizes or
+        // disbands.
         let teamed = creg.teamed as usize;
         if teamed > 1 && self.topo().team_for(cid, teamed).contains(&me) {
-            self.unpinned_wait(backoff, self.shared.member_poll_sleep_cap);
+            if !self.should_park(backoff) {
+                self.unpinned_spin(backoff);
+                return;
+            }
+            let ticket = self.shared.sleep.prepare_handshake();
+            if self.shared.shutdown.load(Ordering::Acquire)
+                || self.shared.workers[cid].reg.load() != creg
+                || self.read_publication(cid).is_some()
+            {
+                self.shared.sleep.cancel_handshake();
+                backoff.note_round();
+                return;
+            }
+            self.commit_handshake_park(backoff, ticket);
             return;
         }
         // 3. Is our registration still valid and needed?
@@ -877,8 +1149,9 @@ impl Worker {
                 // back to the main loop, which re-discovers and re-registers
                 // with whoever still needs us.  This converts any missed
                 // registration/publication handshake into bounded extra
-                // work instead of an unbounded sleep-poll loop.
-                if backoff.rounds() >= MEMBER_RESYNC_ROUNDS {
+                // work instead of an unbounded wait.  Time-based: a parked
+                // member accumulates rounds only on wakes.
+                if backoff.unproductive_for() >= MEMBER_RESYNC_AFTER {
                     match self.shared.workers[cid]
                         .reg
                         .try_release(self.registered_counter[cid])
@@ -887,12 +1160,37 @@ impl Worker {
                         ReleaseOutcome::Released | ReleaseOutcome::Revoked => {
                             self.leave_coordinator();
                             self.me().counters.inc_liveness_resyncs();
+                            // Stall resync: wake everyone (including the
+                            // abandoned coordinator) so no stale park
+                            // outlives the re-synchronization.
+                            self.shared.sleep.notify_all();
                             backoff.reset();
                             return;
                         }
                     }
                 }
-                self.unpinned_wait(backoff, self.shared.member_poll_sleep_cap);
+                if !self.should_park(backoff) {
+                    self.unpinned_spin(backoff);
+                    return;
+                }
+                // Park until the coordinator's word changes, a publication
+                // lands, or a partner event (checked by one more poll after
+                // prepare) needs handling.
+                let ticket = self.shared.sleep.prepare_handshake();
+                if self.shared.shutdown.load(Ordering::Acquire)
+                    || self.shared.workers[cid].reg.load() != creg
+                    || self.read_publication(cid).is_some()
+                {
+                    self.shared.sleep.cancel_handshake();
+                    backoff.note_round();
+                    return;
+                }
+                if self.poll_partners(cid, required, req_level) != PollOutcome::Nothing {
+                    self.shared.sleep.cancel_handshake();
+                    backoff.reset();
+                    return;
+                }
+                self.commit_handshake_park(backoff, ticket);
             }
         }
     }
@@ -1061,10 +1359,13 @@ impl Worker {
             // coordinating (Algorithm 9, lines 23–31).  A coordinator of a
             // *formed* team never abandons it (its members cannot leave
             // either), so refuse in that case.
-            if self.me().reg.load().teamed > 1 {
+            let myreg = self.me().reg.load();
+            if myreg.teamed > 1 {
                 return false;
             }
             self.me().reg.disband();
+            // Revoked registrants may be parked polling our word.
+            self.notify_team_range(me, myreg.required as usize);
         }
         self.try_register_with(new)
     }
@@ -1095,6 +1396,9 @@ impl Worker {
                 self.last_seen_seq[cid] = self.last_seen_seq[cid].max(seq0);
                 self.me().coordinator.store(cid, Ordering::Release);
                 self.me().counters.inc_registrations();
+                // The coordinator may be parked waiting for this very
+                // acquisition (ours could complete the team).
+                self.shared.sleep.notify_worker(cid);
                 true
             }
             AcquireOutcome::Contended => {
@@ -1230,6 +1534,22 @@ impl Worker {
             }
             if moved > 0 {
                 self.me().counters.add_tasks_stolen(moved as u64);
+                if moved > 1 {
+                    // Bulk steal: surplus tasks now sit in our queue — wake
+                    // chain so another sleeper can share the load instead
+                    // of waiting for us to spawn-into-empty again.  We may
+                    // well be the searching worker ourselves, so tolerate
+                    // our own searcher count in the gate.
+                    self.shared.sleep.notify_work(self.searching);
+                }
+                if advertised_level == Some(qlevel) && vq.is_empty() {
+                    // We drained the level the victim is advertising a team
+                    // for: a coordinator parked in `coordinate_level` waits
+                    // on exactly this queue becoming empty (its "nothing
+                    // left, return" condition) and would otherwise only
+                    // notice at the backstop.
+                    self.shared.sleep.notify_worker(victim);
+                }
                 return moved;
             }
         }
@@ -1246,9 +1566,18 @@ impl Worker {
                 let level = self.topo().level_for_requirement(self.id, req);
                 self.me().push_task(level, ptr);
                 self.me().counters.inc_tasks_injected();
+                if !self.shared.injector.is_empty() {
+                    // Wake chain: the submit-side hint only wakes one
+                    // worker per empty→non-empty transition; each consumer
+                    // passes the wake on while elements remain.  The caller
+                    // is the searching worker that popped, so its own
+                    // searcher count must not suppress the chain.
+                    self.shared.sleep.notify_work(self.searching);
+                }
                 if req > 1 {
                     let group = self.topo().group_size(self.id, level);
                     self.me().reg.push_requirement(group as u16);
+                    self.notify_team_range(self.id, group);
                 }
                 true
             }
@@ -1280,8 +1609,15 @@ impl SpawnTarget for Worker {
             me.counters.inc_nodes_recycled();
         }
         let level = self.topo().level_for_requirement(self.id, requirement);
+        let was_empty = me.queues[level].is_empty();
         me.push_task(level, ptr);
         me.counters.inc_tasks_spawned();
+        if was_empty {
+            // Spawn into an empty queue: new stealable work became visible.
+            // The sleep controller makes this free when nobody sleeps or a
+            // searcher is already scanning (one fence + one load).
+            self.shared.sleep.notify_work(self.searching);
+        }
         if requirement > 1 {
             // paper: the registration structure's `r` is updated whenever a
             // task is pushed to the bottom of a queue, so idle threads can
@@ -1293,6 +1629,9 @@ impl SpawnTarget for Worker {
             );
             let group = self.topo().group_size(self.id, level);
             me.reg.push_requirement(group as u16);
+            // Team candidates may be parked (idle or polling a competing
+            // coordinator); the advertisement must reach them.
+            self.notify_team_range(self.id, group);
         }
     }
 

@@ -240,8 +240,25 @@ impl<T: Send> Injector<T> {
     /// Enqueues a value.  Safe to call from any thread; never blocks on
     /// other producers or consumers (segment allocation aside, the push is a
     /// `fetch_add` plus a release store).
-    pub fn push(&self, value: T) {
+    ///
+    /// Returns `true` when the queue was **observed empty** at this push:
+    /// the consumer index had caught up with (or passed) every slot reserved
+    /// before ours, i.e. there was an instant during the push at which no
+    /// earlier element remained queued.  This is the wake hint the
+    /// scheduler's sleep controller needs — a push into an observed-empty
+    /// queue means no consumer is guaranteed to be draining, so a sleeper
+    /// should be woken.  The hint is one-sided: `false` reliably means the
+    /// queue held at least one other in-flight element at the observation
+    /// instant, while a `true` may be missed (the load races with concurrent
+    /// pops) — callers must treat it as "wake needed", never as "skip
+    /// bookkeeping".
+    pub fn push(&self, value: T) -> bool {
         let index = self.tail.fetch_add(1, Ordering::AcqRel);
+        // Observed-empty hint: `head >= index` means every slot reserved
+        // before ours is already claimed by a consumer, so at the moment of
+        // this load the queue contained no other element.  Loaded right
+        // after the reservation so the hint describes *this* push's instant.
+        let observed_empty = self.head.load(Ordering::Acquire) >= index;
         let mut hint = self.tail_seg.load(Ordering::Acquire);
         // SAFETY: a hint pointer loaded while pinned (the `in_domain`
         // contract) stays dereferenceable until our next quiescent point,
@@ -269,6 +286,7 @@ impl<T: Send> Injector<T> {
         unsafe { (*slot.value.get()).write(value) };
         // Release: consumers that acquire-observe WRITTEN see the value.
         slot.state.store(WRITTEN, Ordering::Release);
+        observed_empty
     }
 
     /// Attempts to dequeue the oldest element.  Safe to call from any
@@ -553,6 +571,64 @@ mod tests {
             assert_eq!(s.load(Ordering::SeqCst), 1, "element {i} delivered exactly once");
         }
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn push_empty_hint_single_threaded() {
+        let q: Injector<u32> = Injector::new();
+        assert!(q.push(1), "first push into a fresh queue observes empty");
+        assert!(!q.push(2), "second push sees element 1 still queued");
+        assert!(!q.push(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert!(q.push(4), "push after a full drain observes empty again");
+        assert_eq!(q.pop(), Some(4));
+    }
+
+    #[test]
+    fn push_empty_hint_is_one_sided_under_mpmc() {
+        // One-sided accuracy: a `false` hint guarantees the queue held
+        // another in-flight element at the push.  With *no* consumer
+        // running, only the very first reserved slot (index 0) can ever
+        // observe `head >= index`, so across any number of concurrent
+        // producers at most one push per drained-empty phase may hint true.
+        const PRODUCERS: usize = 4;
+        const PER_PRODUCER: usize = 5_000;
+        let q: Arc<Injector<usize>> = Arc::new(Injector::new());
+        for phase in 0..3 {
+            let true_hints: usize = (0..PRODUCERS)
+                .map(|p| {
+                    let q = Arc::clone(&q);
+                    std::thread::spawn(move || {
+                        let mut trues = 0usize;
+                        for i in 0..PER_PRODUCER {
+                            if q.push(p * PER_PRODUCER + i) {
+                                trues += 1;
+                            }
+                        }
+                        trues
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|t| t.join().unwrap())
+                .sum();
+            assert!(
+                true_hints <= 1,
+                "phase {phase}: {true_hints} pushes claimed an empty queue \
+                 while no consumer ran — the hint lied about emptiness"
+            );
+            // Drain for the next phase; the first push afterwards must be
+            // able to observe emptiness again.
+            let mut drained = 0;
+            while q.pop().is_some() {
+                drained += 1;
+            }
+            assert_eq!(drained, PRODUCERS * PER_PRODUCER);
+            assert!(q.push(0), "post-drain push observes empty");
+            assert_eq!(q.pop(), Some(0));
+        }
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //! * [`epoch`] — epoch-based memory reclamation for the scheduler's
 //!   lock-free queues (injection-queue segments, deque growth buffers), so a
 //!   long-lived scheduler has bounded memory instead of leak-until-drop,
+//! * [`eventcount`] — the futex-style blocking primitive behind the
+//!   scheduler's event-driven parking (prepare → recheck → park, targeted
+//!   per-worker wakes), replacing timed sleep-polling on every idle and
+//!   coordination path,
 //! * [`timing`] — monotonic timers and simple statistics used by the
 //!   benchmark harness.
 
@@ -29,6 +33,7 @@
 pub mod backoff;
 pub mod bits;
 pub mod epoch;
+pub mod eventcount;
 pub mod rng;
 pub mod sendptr;
 pub mod slab;

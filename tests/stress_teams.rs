@@ -201,6 +201,68 @@ fn task_storm_with_randomized_stealing() {
     });
 }
 
+/// Very many tiny sequential tasks under the classic uniformly random
+/// work-stealing policy (the paper's *Randfork* baseline): no hierarchy, no
+/// team machinery — victims are chosen uniformly at random, so this is the
+/// only stress coverage the `UniformRandom` partner path gets.  The storm
+/// repeats until random-victim steals are observed, so the metrics
+/// assertion cannot flake on a single-CPU host where the producer often
+/// finishes before a thief wins a race.
+#[test]
+fn task_storm_with_uniform_random_stealing() {
+    with_watchdog("task_storm_with_uniform_random_stealing", WATCHDOG, || {
+        let scheduler = Scheduler::builder()
+            .threads(4)
+            .steal_policy(StealPolicy::UniformRandom)
+            .seed(0xD1CE)
+            .build();
+        let mut rounds = 0usize;
+        loop {
+            rounds += 1;
+            let before = scheduler.metrics();
+            let counter = Arc::new(AtomicUsize::new(0));
+            let c = Arc::clone(&counter);
+            scheduler.scope(|scope| {
+                for _ in 0..4 {
+                    let c = Arc::clone(&c);
+                    scope.spawn(move |ctx| {
+                        for _ in 0..96 {
+                            let c = Arc::clone(&c);
+                            ctx.spawn(move |_| {
+                                // Enough work per task that the producer's
+                                // queue stays stealable for a while.
+                                let mut acc = 0u64;
+                                for i in 0..512u64 {
+                                    acc = acc.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(i);
+                                }
+                                std::hint::black_box(acc);
+                                c.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                }
+            });
+            assert_eq!(counter.load(Ordering::Relaxed), 4 * 96);
+            let delta = scheduler.metrics().delta_since(&before);
+            assert_eq!(
+                delta.teams_formed, 0,
+                "UniformRandom must never touch the team machinery"
+            );
+            assert_eq!(delta.registrations, 0);
+            if delta.steals > 0 {
+                assert!(delta.tasks_stolen > 0);
+                break;
+            }
+            // No steal this round (single-CPU scheduling luck): run another
+            // storm.  The watchdog bounds the overall attempt budget.
+            assert!(
+                rounds < 10_000,
+                "uniformly random thieves never stole anything"
+            );
+        }
+    });
+}
+
 /// Full-machine teams built repeatedly while sequential stragglers are in
 /// flight: large teams must still form (Lemma 1: every task eventually runs).
 #[test]
