@@ -14,6 +14,11 @@
 //! * [`scope_inject`] — many small scopes, each submitting root tasks from
 //!   outside the worker pool: the cost of the external injection queue and
 //!   scope termination detection.
+//! * [`injection_throughput`] — many concurrent submitter threads feeding
+//!   one persistent scheduler: the aggregate capacity of the (sharded)
+//!   external injection queue, in tasks per second, plus sampled
+//!   submit-to-start latencies.  The direct measurement of the sharded
+//!   injection path (DESIGN.md §13).
 //! * [`soak`] — a bounded-memory probe: many root-task lifetimes with
 //!   deque-growing spawn bursts, sampling the scheduler's retained
 //!   injection-queue segments and deferred-reclamation backlog between
@@ -144,6 +149,108 @@ pub fn scope_inject(scheduler: &Scheduler, scopes: usize, per_scope: usize) -> D
         "scope_inject lost or duplicated tasks"
     );
     duration
+}
+
+/// Every how-many-th submission of one [`injection_throughput`] producer
+/// records a submit-to-start latency sample.  Sampling (instead of timing
+/// every task) keeps the measurement from turning into an `Instant::now`
+/// benchmark while still yielding hundreds of samples per run.
+pub const INJECTION_SAMPLE_EVERY: usize = 64;
+
+/// Outcome of one [`injection_throughput`] run.
+#[derive(Debug, Clone, Default)]
+pub struct InjectionOutcome {
+    /// Wall-clock time from the first submission to the last task draining.
+    pub duration: Duration,
+    /// Total root tasks submitted (and executed — the count is asserted).
+    pub tasks: usize,
+    /// Sampled submit-to-start latencies (every
+    /// [`INJECTION_SAMPLE_EVERY`]-th submission per producer).
+    pub submit_to_start: Vec<Duration>,
+}
+
+impl InjectionOutcome {
+    /// Aggregate injection throughput over the timed region.
+    pub fn tasks_per_sec(&self) -> f64 {
+        self.tasks as f64 / self.duration.as_secs_f64()
+    }
+}
+
+/// One timed multi-producer injection run: `producers` submitter threads
+/// each open one scope against the shared scheduler and submit
+/// `per_producer` empty root tasks, all concurrently.  The timed region
+/// covers every submission *and* the draining of every task, so the number
+/// is end-to-end injection capacity, not just push throughput.  With a
+/// sharded injector the producers spread over the shards (round-robin
+/// affinity) instead of serializing on one head/tail cache-line pair.
+///
+/// # Panics
+///
+/// Panics if not exactly `producers * per_producer` tasks executed or a
+/// sampled task never started.
+pub fn injection_throughput(
+    scheduler: &Scheduler,
+    producers: usize,
+    per_producer: usize,
+) -> InjectionOutcome {
+    let executed = Arc::new(AtomicUsize::new(0));
+    let (duration, cells) = time(|| {
+        std::thread::scope(|ts| {
+            let handles: Vec<_> = (0..producers)
+                .map(|_| {
+                    let executed = Arc::clone(&executed);
+                    ts.spawn(move || {
+                        let mut cells: Vec<Arc<AtomicU64>> = Vec::new();
+                        scheduler.scope(|scope| {
+                            for k in 0..per_producer {
+                                let counter = Arc::clone(&executed);
+                                if k % INJECTION_SAMPLE_EVERY == 0 {
+                                    let cell = Arc::new(AtomicU64::new(u64::MAX));
+                                    let started = Arc::clone(&cell);
+                                    let submit = Instant::now();
+                                    scope.spawn(move |_| {
+                                        started.store(
+                                            submit.elapsed().as_nanos() as u64,
+                                            Ordering::Relaxed,
+                                        );
+                                        counter.fetch_add(1, Ordering::Relaxed);
+                                    });
+                                    cells.push(cell);
+                                } else {
+                                    scope.spawn(move |_| {
+                                        counter.fetch_add(1, Ordering::Relaxed);
+                                    });
+                                }
+                            }
+                        });
+                        cells
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("producer thread panicked"))
+                .collect::<Vec<_>>()
+        })
+    });
+    assert_eq!(
+        executed.load(Ordering::Relaxed),
+        producers * per_producer,
+        "injection_throughput lost or duplicated tasks"
+    );
+    let submit_to_start = cells
+        .iter()
+        .map(|cell| {
+            let ns = cell.load(Ordering::Relaxed);
+            assert_ne!(ns, u64::MAX, "a sampled injection task never started");
+            Duration::from_nanos(ns)
+        })
+        .collect();
+    InjectionOutcome {
+        duration,
+        tasks: producers * per_producer,
+        submit_to_start,
+    }
 }
 
 /// Children spawned by every root task of the [`soak`] scenario.  Above the
@@ -374,6 +481,25 @@ mod tests {
         std::hint::black_box(acc);
         let b = process_cpu_time().expect("procfs available on Linux");
         assert!(b >= a);
+    }
+
+    #[test]
+    fn injection_throughput_counts_and_samples() {
+        let scheduler = Scheduler::with_threads(2);
+        let before = scheduler.metrics();
+        let outcome = injection_throughput(&scheduler, 8, 200);
+        assert_eq!(outcome.tasks, 8 * 200);
+        assert!(outcome.duration > Duration::ZERO);
+        assert!(outcome.tasks_per_sec() > 0.0);
+        // ceil(200 / 64) = 4 samples per producer.
+        assert_eq!(outcome.submit_to_start.len(), 8 * 4);
+        let delta = scheduler.metrics().delta_since(&before);
+        assert_eq!(delta.tasks_injected, 8 * 200);
+        // Every injector pop is classified as local or remote, never both.
+        assert_eq!(
+            delta.injector_local_pops + delta.injector_remote_pops,
+            delta.tasks_injected
+        );
     }
 
     #[test]

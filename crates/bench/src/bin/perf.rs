@@ -53,6 +53,7 @@ struct Sweeps {
     sort: bool,
     kernel: bool,
     micro: bool,
+    injection: bool,
     soak: bool,
     wakeup_latency: bool,
     idle_burn: bool,
@@ -64,6 +65,7 @@ impl Default for Sweeps {
             sort: true,
             kernel: true,
             micro: true,
+            injection: true,
             soak: true,
             wakeup_latency: true,
             idle_burn: true,
@@ -76,6 +78,7 @@ impl Sweeps {
         sort: false,
         kernel: false,
         micro: false,
+        injection: false,
         soak: false,
         wakeup_latency: false,
         idle_burn: false,
@@ -83,13 +86,23 @@ impl Sweeps {
 
     /// `true` when any family writing into `BENCH_kernels.json` runs.
     fn any_kernel_report_family(&self) -> bool {
-        self.kernel || self.micro || self.soak || self.wakeup_latency || self.idle_burn
+        self.kernel
+            || self.micro
+            || self.injection
+            || self.soak
+            || self.wakeup_latency
+            || self.idle_burn
     }
 
     /// `true` when every `BENCH_kernels.json` family runs (no carryover
     /// needed).
     fn all_kernel_report_families(&self) -> bool {
-        self.kernel && self.micro && self.soak && self.wakeup_latency && self.idle_burn
+        self.kernel
+            && self.micro
+            && self.injection
+            && self.soak
+            && self.wakeup_latency
+            && self.idle_burn
     }
 }
 
@@ -132,7 +145,8 @@ const HELP: &str = "Perf-trajectory harness (writes BENCH_sort.json / BENCH_kern
   --seed N           input seed (default 42)
   --out-dir PATH     output directory (default .)
   --only LIST        comma-separated sweep families to run: sort,kernel,
-                     micro,soak,wakeup_latency,idle_burn (default: all six)
+                     micro,injection_throughput,soak,wakeup_latency,idle_burn
+                     (default: all seven)
   --check FILE       fail (exit 1) on MMPar median regression vs baseline FILE;
                      with --smoke the comparison runs a dedicated MMPar pass at
                      the baseline's recorded size/threads so medians compare
@@ -194,13 +208,15 @@ fn parse_args() -> Result<Options, String> {
                         "sort" => sweeps.sort = true,
                         "kernel" => sweeps.kernel = true,
                         "micro" => sweeps.micro = true,
+                        "injection_throughput" => sweeps.injection = true,
                         "soak" => sweeps.soak = true,
                         "wakeup_latency" => sweeps.wakeup_latency = true,
                         "idle_burn" => sweeps.idle_burn = true,
                         other => {
                             return Err(format!(
                                 "unknown sweep family '{other}' (expected sort, kernel, \
-                                 micro, soak, wakeup_latency or idle_burn)"
+                                 micro, injection_throughput, soak, wakeup_latency or \
+                                 idle_burn)"
                             ))
                         }
                     }
@@ -533,6 +549,106 @@ fn sweep_micro(opts: &Options) -> Vec<RunRecord> {
             &scheduler,
             || micro::scope_inject(&scheduler, scopes, per_scope),
         ));
+    }
+    records
+}
+
+/// Sweeps the multi-producer injection scenario
+/// ([`micro::injection_throughput`]): 8 concurrent submitter threads feed
+/// empty root tasks into one persistent scheduler.  Each thread count is
+/// measured twice — once with the default domain width (sharded injector)
+/// and once with `domain_width = p` (a single shard, the pre-sharding
+/// layout) — so the sharded-vs-single comparison lives side by side in the
+/// report.  On top of `--threads`, oversubscribed p = 32/64 "simulated big
+/// iron" cells run too: that is where the domain structure has more than
+/// one shard to spread producers over.
+fn sweep_injection(opts: &Options) -> Vec<RunRecord> {
+    const PRODUCERS: usize = 8;
+    let per_producer = (opts.size / 32).clamp(256, 16_384);
+    let tasks = PRODUCERS * per_producer;
+    let mut thread_counts = opts.threads.clone();
+    for big in [32usize, 64] {
+        if !thread_counts.contains(&big) {
+            thread_counts.push(big);
+        }
+    }
+    let mut records = Vec::new();
+    for &threads in &thread_counts {
+        for (name, width) in [("sharded", None), ("single_shard", Some(threads))] {
+            let mut builder = Scheduler::builder().threads(threads);
+            if let Some(width) = width {
+                builder = builder.domain_width(width);
+            }
+            let scheduler = builder.build();
+            let shards = scheduler.injector_shard_segments().len();
+            for _ in 0..opts.warmups {
+                micro::injection_throughput(&scheduler, PRODUCERS, per_producer);
+            }
+            let mut stats = RunStats::new();
+            let mut submit = RunStats::new();
+            let mut metrics = MetricsSnapshot::default();
+            for _ in 0..opts.reps {
+                let before = scheduler.metrics();
+                let outcome = micro::injection_throughput(&scheduler, PRODUCERS, per_producer);
+                stats.record(outcome.duration);
+                metrics = metrics.merge(scheduler.metrics().delta_since(&before));
+                for sample in outcome.submit_to_start {
+                    submit.record(sample);
+                }
+            }
+            let secs = TimingSummary::from_stats(&stats);
+            let submit_secs = TimingSummary::from_stats(&submit);
+            let tasks_per_sec = if secs.median_s > 0.0 {
+                tasks as f64 / secs.median_s
+            } else {
+                0.0
+            };
+            let pops = metrics.injector_local_pops + metrics.injector_remote_pops;
+            let remote_share = if pops > 0 {
+                metrics.injector_remote_pops as f64 / pops as f64
+            } else {
+                0.0
+            };
+            eprintln!(
+                "inject  | {name:<12} | p = {threads:>2} | median {:>10.6}s | {tasks_per_sec:>10.0} tasks/s | shards {shards} | remote {:>5.1}%",
+                secs.median_s,
+                remote_share * 100.0
+            );
+            records.push(RunRecord {
+                group: "injection_throughput".into(),
+                name: name.into(),
+                distribution: None,
+                size: tasks,
+                threads,
+                warmups: opts.warmups,
+                repetitions: opts.reps,
+                secs,
+                metrics,
+                seq_reference_s: None,
+                speedup_vs_seq: None,
+                extra: Some(JsonValue::Object(vec![
+                    ("producers".into(), JsonValue::Number(PRODUCERS as f64)),
+                    (
+                        "per_producer".into(),
+                        JsonValue::Number(per_producer as f64),
+                    ),
+                    ("shards".into(), JsonValue::Number(shards as f64)),
+                    ("tasks_per_sec".into(), JsonValue::Number(tasks_per_sec)),
+                    (
+                        "submit_to_start_median_us".into(),
+                        JsonValue::Number(submit_secs.median_s * 1e6),
+                    ),
+                    (
+                        "submit_to_start_p95_us".into(),
+                        JsonValue::Number(submit_secs.p95_s * 1e6),
+                    ),
+                    (
+                        "injector_remote_pop_share".into(),
+                        JsonValue::Number(remote_share),
+                    ),
+                ])),
+            });
+        }
     }
     records
 }
@@ -889,6 +1005,8 @@ fn run() -> Result<i32, String> {
                         .filter(|r| {
                             (r.group == "kernel" && !opts.sweeps.kernel)
                                 || (r.group == "micro" && !opts.sweeps.micro)
+                                || (r.group == "injection_throughput"
+                                    && !opts.sweeps.injection)
                                 || (r.group == "soak" && !opts.sweeps.soak)
                                 || (r.group == "wakeup_latency" && !opts.sweeps.wakeup_latency)
                                 || (r.group == "idle_burn" && !opts.sweeps.idle_burn)
@@ -897,8 +1015,8 @@ fn run() -> Result<i32, String> {
                 })
                 .unwrap_or_default()
         };
-        // Stable record order: kernel, micro, soak, wakeup_latency,
-        // idle_burn.
+        // Stable record order: kernel, micro, injection_throughput, soak,
+        // wakeup_latency, idle_burn.
         let mut records: Vec<RunRecord> = Vec::new();
         let family = |enabled: bool,
                           group: &str,
@@ -916,6 +1034,12 @@ fn run() -> Result<i32, String> {
         family(opts.sweeps.micro, "micro", &mut records, &mut || {
             sweep_micro(&opts)
         });
+        family(
+            opts.sweeps.injection,
+            "injection_throughput",
+            &mut records,
+            &mut || sweep_injection(&opts),
+        );
         family(opts.sweeps.soak, "soak", &mut records, &mut || {
             sweep_soak(&opts)
         });

@@ -510,9 +510,11 @@ impl TimingSummary {
 /// `buffers_reclaimed` and `epoch_advances` with the epoch-reclamation
 /// subsystem (PR 4); `parks`, `wakeups` and `spurious_wakes` (plus the
 /// non-scalar `wake_latency_us` bucket array) with the event-driven parking
-/// subsystem (PR 5).  The parser defaults absent counters to zero so reports
-/// written by earlier harnesses stay readable.
-const METRIC_FIELDS: [&str; 19] = [
+/// subsystem (PR 5); `injector_local_pops`, `injector_remote_pops` and
+/// `external_pin_waits` with the sharded injector (PR 6).  The parser
+/// defaults absent counters to zero so reports written by earlier harnesses
+/// stay readable.
+const METRIC_FIELDS: [&str; 22] = [
     "tasks_executed",
     "team_tasks_executed",
     "teams_formed",
@@ -525,6 +527,9 @@ const METRIC_FIELDS: [&str; 19] = [
     "cas_failures",
     "nodes_recycled",
     "tasks_injected",
+    "injector_local_pops",
+    "injector_remote_pops",
+    "external_pin_waits",
     "liveness_resyncs",
     "segments_reclaimed",
     "buffers_reclaimed",
@@ -553,6 +558,9 @@ fn metrics_to_json(m: &MetricsSnapshot) -> JsonValue {
         m.cas_failures,
         m.nodes_recycled,
         m.tasks_injected,
+        m.injector_local_pops,
+        m.injector_remote_pops,
+        m.external_pin_waits,
         m.liveness_resyncs,
         m.segments_reclaimed,
         m.buffers_reclaimed,
@@ -617,6 +625,9 @@ fn metrics_from_json(value: &JsonValue) -> Result<MetricsSnapshot, String> {
         cas_failures: field("cas_failures")?,
         nodes_recycled: optional_field("nodes_recycled"),
         tasks_injected: optional_field("tasks_injected"),
+        injector_local_pops: optional_field("injector_local_pops"),
+        injector_remote_pops: optional_field("injector_remote_pops"),
+        external_pin_waits: optional_field("external_pin_waits"),
         liveness_resyncs: optional_field("liveness_resyncs"),
         segments_reclaimed: optional_field("segments_reclaimed"),
         buffers_reclaimed: optional_field("buffers_reclaimed"),
@@ -1189,6 +1200,53 @@ mod tests {
             assert_eq!(record.metrics.wake_latency, WakeLatencyHistogram::default());
             // The pre-existing counters survived the strip.
             assert_eq!(record.metrics.steals, 17);
+        }
+        // And a defaulted report round-trips stably.
+        assert_eq!(
+            Report::from_json_str(&parsed.to_json_string()).unwrap(),
+            parsed
+        );
+    }
+
+    #[test]
+    fn pre_sharding_baselines_parse_with_defaulted_metrics() {
+        // A record written before PR 6 carries none of the sharded-injector
+        // counters: strip them from a fresh record and the parser must
+        // default all of them to zero (so PR 5-era committed baselines keep
+        // working as `--check` inputs).
+        let report = sample_report(0.010);
+        let text = report.to_json_string();
+        let mut value = JsonValue::parse(&text).unwrap();
+        if let JsonValue::Object(pairs) = &mut value {
+            if let Some((_, JsonValue::Array(records))) =
+                pairs.iter_mut().find(|(k, _)| k == "records")
+            {
+                for record in records {
+                    if let JsonValue::Object(fields) = record {
+                        if let Some((_, JsonValue::Object(metrics))) =
+                            fields.iter_mut().find(|(k, _)| k == "metrics")
+                        {
+                            metrics.retain(|(k, _)| {
+                                !matches!(
+                                    k.as_str(),
+                                    "injector_local_pops"
+                                        | "injector_remote_pops"
+                                        | "external_pin_waits"
+                                )
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        let parsed = Report::from_json_str(&value.render()).expect("old schema parses");
+        for record in &parsed.records {
+            assert_eq!(record.metrics.injector_local_pops, 0);
+            assert_eq!(record.metrics.injector_remote_pops, 0);
+            assert_eq!(record.metrics.external_pin_waits, 0);
+            // The pre-existing counters survived the strip.
+            assert_eq!(record.metrics.steals, 17);
+            assert_eq!(record.metrics.parks, 12);
         }
         // And a defaulted report round-trips stably.
         assert_eq!(

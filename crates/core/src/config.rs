@@ -69,6 +69,14 @@ pub struct SchedulerConfig {
     /// expiry, so even the default keeps an idle scheduler's CPU use
     /// negligible.
     pub park_backstop: Duration,
+    /// Maximum worker count per injection-shard **domain** (DESIGN.md §13).
+    /// The external injection queue is sharded per domain: the domains are
+    /// the groups of the largest hierarchy level whose nominal size is at
+    /// most this width, so the default of 8 gives one shard per 8-worker
+    /// neighbourhood (and machines with `p ≤ 8` keep a single shard, the
+    /// pre-sharding behaviour).  A width ≥ `p` forces a single shard; a
+    /// width of 1 gives one shard per worker.
+    pub domain_width: usize,
 }
 
 impl Default for SchedulerConfig {
@@ -83,6 +91,7 @@ impl Default for SchedulerConfig {
             seed: 0x7465616d_73746561, // "teamstea(l)"
             park_spin_rounds: 16,
             park_backstop: Duration::from_millis(100),
+            domain_width: 8,
         }
     }
 }
@@ -142,6 +151,18 @@ mod tests {
         assert_eq!(StealAmount::HalfOfVictim.amount(1, 0), 1);
         // Half-of-victim caps the 2^l rule.
         assert_eq!(StealAmount::TwoToLevel.amount(8, 5), 4);
+    }
+
+    #[test]
+    fn default_domain_width_keeps_small_machines_single_shard() {
+        use teamsteal_topology::Domains;
+        let c = SchedulerConfig::with_threads(4);
+        let domains = Domains::new(&c.resolve_topology(), c.domain_width);
+        assert_eq!(domains.num_domains(), 1);
+        // A 32-thread machine shards at the default width of 8.
+        let c = SchedulerConfig::with_threads(32);
+        let domains = Domains::new(&c.resolve_topology(), c.domain_width);
+        assert_eq!(domains.num_domains(), 4);
     }
 
     #[test]

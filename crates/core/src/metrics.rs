@@ -58,6 +58,13 @@ pub struct WorkerCounters {
     /// Externally injected root tasks this worker pulled from the injection
     /// queue.
     pub tasks_injected: AtomicU64,
+    /// Injected tasks this worker popped from its **own** domain's injector
+    /// shard (DESIGN.md §13).  `injector_remote_pops / (local + remote)` is
+    /// the remote-pop share — the locality cost of injection.
+    pub injector_local_pops: AtomicU64,
+    /// Injected tasks this worker popped from a foreign domain's shard
+    /// during the distance-ordered sweep.
+    pub injector_remote_pops: AtomicU64,
     /// Times this worker triggered the liveness backstop (coordinator
     /// re-announcement or member re-registration after a long unproductive
     /// poll).  Zero in healthy runs.
@@ -157,6 +164,18 @@ impl WorkerCounters {
         Self::bump(&self.tasks_injected);
     }
 
+    /// Increments the local-shard injector pop counter.
+    #[inline]
+    pub fn inc_injector_local_pops(&self) {
+        Self::bump(&self.injector_local_pops);
+    }
+
+    /// Increments the remote-shard injector pop counter.
+    #[inline]
+    pub fn inc_injector_remote_pops(&self) {
+        Self::bump(&self.injector_remote_pops);
+    }
+
     /// Increments the liveness-resync counter.
     #[inline]
     pub fn inc_liveness_resyncs(&self) {
@@ -226,6 +245,9 @@ impl WorkerCounters {
             cas_failures: self.cas_failures.load(Ordering::Relaxed),
             nodes_recycled: self.nodes_recycled.load(Ordering::Relaxed),
             tasks_injected: self.tasks_injected.load(Ordering::Relaxed),
+            injector_local_pops: self.injector_local_pops.load(Ordering::Relaxed),
+            injector_remote_pops: self.injector_remote_pops.load(Ordering::Relaxed),
+            external_pin_waits: 0,
             liveness_resyncs: self.liveness_resyncs.load(Ordering::Relaxed),
             segments_reclaimed: self.segments_reclaimed.load(Ordering::Relaxed),
             buffers_reclaimed: self.buffers_reclaimed.load(Ordering::Relaxed),
@@ -328,6 +350,15 @@ pub struct MetricsSnapshot {
     pub nodes_recycled: u64,
     /// Root tasks pulled from the external injection queue.
     pub tasks_injected: u64,
+    /// Injected tasks popped from the popping worker's own domain shard.
+    pub injector_local_pops: u64,
+    /// Injected tasks popped from a foreign domain's shard during the
+    /// distance-ordered sweep.
+    pub injector_remote_pops: u64,
+    /// Exhaustion-backoff episodes of external submitters waiting for a
+    /// free epoch-pin slot (always zero in per-worker snapshots; filled in
+    /// by the scheduler-wide aggregate, which owns the shared pin array).
+    pub external_pin_waits: u64,
     /// Liveness-backstop resyncs (zero in healthy runs).
     pub liveness_resyncs: u64,
     /// Consumed injection-queue segments freed through the epoch domain.
@@ -373,6 +404,9 @@ impl MetricsSnapshot {
             cas_failures: self.cas_failures + other.cas_failures,
             nodes_recycled: self.nodes_recycled + other.nodes_recycled,
             tasks_injected: self.tasks_injected + other.tasks_injected,
+            injector_local_pops: self.injector_local_pops + other.injector_local_pops,
+            injector_remote_pops: self.injector_remote_pops + other.injector_remote_pops,
+            external_pin_waits: self.external_pin_waits + other.external_pin_waits,
             liveness_resyncs: self.liveness_resyncs + other.liveness_resyncs,
             segments_reclaimed: self.segments_reclaimed + other.segments_reclaimed,
             buffers_reclaimed: self.buffers_reclaimed + other.buffers_reclaimed,
@@ -420,6 +454,15 @@ impl MetricsSnapshot {
             cas_failures: self.cas_failures.saturating_sub(earlier.cas_failures),
             nodes_recycled: self.nodes_recycled.saturating_sub(earlier.nodes_recycled),
             tasks_injected: self.tasks_injected.saturating_sub(earlier.tasks_injected),
+            injector_local_pops: self
+                .injector_local_pops
+                .saturating_sub(earlier.injector_local_pops),
+            injector_remote_pops: self
+                .injector_remote_pops
+                .saturating_sub(earlier.injector_remote_pops),
+            external_pin_waits: self
+                .external_pin_waits
+                .saturating_sub(earlier.external_pin_waits),
             liveness_resyncs: self
                 .liveness_resyncs
                 .saturating_sub(earlier.liveness_resyncs),
@@ -483,6 +526,8 @@ mod tests {
         c.inc_cas_failures();
         c.inc_nodes_recycled();
         c.inc_tasks_injected();
+        c.inc_injector_local_pops();
+        c.inc_injector_remote_pops();
         c.inc_liveness_resyncs();
         c.add_tasks_stolen(1);
         c.add_segments_reclaimed(1);
@@ -508,6 +553,9 @@ mod tests {
                 cas_failures: 1,
                 nodes_recycled: 1,
                 tasks_injected: 1,
+                injector_local_pops: 1,
+                injector_remote_pops: 1,
+                external_pin_waits: 0,
                 liveness_resyncs: 1,
                 segments_reclaimed: 1,
                 buffers_reclaimed: 1,

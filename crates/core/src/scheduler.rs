@@ -151,6 +151,26 @@ impl SchedulerBuilder {
         self
     }
 
+    /// Sets the maximum worker count per injection-shard domain (see
+    /// [`SchedulerConfig::domain_width`]): the external injection queue gets
+    /// one shard per hierarchy domain of at most this width.  A width ≥ the
+    /// thread count forces a single shard (the pre-sharding behaviour); a
+    /// width of 1 gives one shard per worker.
+    ///
+    /// ```
+    /// use teamsteal_core::Scheduler;
+    ///
+    /// let scheduler = Scheduler::builder()
+    ///     .threads(4)
+    ///     .domain_width(2)
+    ///     .build();
+    /// assert_eq!(scheduler.injector_shard_segments().len(), 2);
+    /// ```
+    pub fn domain_width(mut self, width: usize) -> Self {
+        self.config.domain_width = width;
+        self
+    }
+
     /// Overrides the full configuration.
     ///
     /// ```
@@ -302,9 +322,13 @@ impl Scheduler {
     /// assert_eq!(delta.team_tasks_executed, 4); // counted per participant
     /// ```
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.worker_metrics()
+        let mut aggregate = self
+            .worker_metrics()
             .into_iter()
-            .fold(MetricsSnapshot::default(), MetricsSnapshot::merge)
+            .fold(MetricsSnapshot::default(), MetricsSnapshot::merge);
+        // Scheduler-wide counters that no single worker owns.
+        aggregate.external_pin_waits = self.shared.external_pins.pin_waits();
+        aggregate
     }
 
     /// One-line dump of every worker's scheduler-visible state (registration
@@ -338,6 +362,28 @@ impl Scheduler {
             deferred_items: self.shared.epoch.pending(),
             global_epoch: self.shared.epoch.global_epoch(),
         }
+    }
+
+    /// Live (allocated, not yet reclaimed) injection-queue segments per
+    /// shard, indexed by shard/domain.  The per-shard view of
+    /// [`reclamation`](Self::reclamation)'s aggregate `injector_segments`:
+    /// with reclamation healthy, **each** shard's count stays bounded by
+    /// its live queue, so a shard starved of consumers cannot hide behind a
+    /// healthy aggregate.
+    ///
+    /// ```
+    /// use teamsteal_core::Scheduler;
+    ///
+    /// let scheduler = Scheduler::with_threads(2);
+    /// let per_shard = scheduler.injector_shard_segments();
+    /// assert!(per_shard.iter().all(|&s| s >= 1)); // current segment is live
+    /// assert_eq!(per_shard.iter().sum::<usize>(),
+    ///            scheduler.reclamation().injector_segments);
+    /// ```
+    pub fn injector_shard_segments(&self) -> Vec<usize> {
+        (0..self.shared.injector.num_shards())
+            .map(|s| self.shared.injector.shard_live_segments(s))
+            .collect()
     }
 
     fn check_requirement(&self, requirement: usize) {

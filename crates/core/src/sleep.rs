@@ -160,6 +160,25 @@ impl SleepController {
         self.ec.notify_one_idle()
     }
 
+    /// The locality-aware variant of [`notify_work`](Self::notify_work):
+    /// same gate, but a wake that does fire prefers a sleeper whose slot
+    /// lies in `near` — the worker range of the domain the work was pushed
+    /// into — before falling back to the global rotating scan (DESIGN.md
+    /// §13).  Like the anonymous wake it claims only *idle* parkers, so a
+    /// handshake park can never swallow it.
+    pub(crate) fn notify_work_near(
+        &self,
+        near: std::ops::Range<usize>,
+        from_searcher: bool,
+    ) -> bool {
+        fence(Ordering::SeqCst);
+        let state = self.state.load(Ordering::Relaxed);
+        if sleeping(state) == 0 || searching(state) > u64::from(from_searcher) {
+            return false;
+        }
+        self.ec.notify_one_idle_in(near)
+    }
+
     /// `true` when any worker is parked, with the `SeqCst` fence that makes
     /// the answer reliable against a concurrent `prepare_*` (module docs):
     /// a `false` guarantees every not-yet-parked worker's recheck will see

@@ -15,9 +15,9 @@ use std::time::Duration;
 
 use std::cell::UnsafeCell;
 
-use teamsteal_deque::{Injector, RawDeque, Steal};
+use teamsteal_deque::{RawDeque, ShardedInjector, Steal};
 use teamsteal_registration::{AcquireOutcome, AtomicRegistration, ReleaseOutcome};
-use teamsteal_topology::{StealPolicy, Topology};
+use teamsteal_topology::{Domains, StealPolicy, Topology};
 use teamsteal_util::epoch::{Domain, Participant};
 use teamsteal_util::eventcount::WakeReason;
 use teamsteal_util::rng::{worker_rng, Xoshiro256};
@@ -152,7 +152,10 @@ impl WorkerShared {
 
 /// Participant slots pre-registered for threads *outside* the worker pool
 /// (`Scheduler::scope` submitters, drop-time draining).  More simultaneous
-/// submitters than this briefly spin for a free slot in `ExternalPins`.
+/// submitters than this wait for a free slot in `ExternalPins` under a
+/// capped backoff (spin, then yield, then bounded sleeps of ≤ 50 µs) and
+/// are counted in `external_pin_waits`; the wait is bounded because every
+/// claim is released after one queue operation, so a slot frees in O(µs).
 const EXTERNAL_PARTICIPANTS: usize = 32;
 
 /// A fixed pool of pre-registered epoch participants that threads outside
@@ -165,6 +168,11 @@ const EXTERNAL_PARTICIPANTS: usize = 32;
 /// is data-race free).
 pub(crate) struct ExternalPins {
     slots: Box<[CachePadded<ExternalSlot>]>,
+    /// Exhaustion episodes: a submitter scanned every slot, found all of
+    /// them claimed, and had to back off before rescanning.  Counted once
+    /// per episode (not per rescan), so the value reads as "how often were
+    /// more than [`EXTERNAL_PARTICIPANTS`] threads mid-injection at once".
+    pin_waits: AtomicU64,
 }
 
 struct ExternalSlot {
@@ -190,7 +198,13 @@ impl ExternalPins {
                     })
                 })
                 .collect(),
+            pin_waits: AtomicU64::new(0),
         }
+    }
+
+    /// Number of recorded exhaustion-backoff episodes (see `pin_waits`).
+    pub(crate) fn pin_waits(&self) -> u64 {
+        self.pin_waits.load(Ordering::Relaxed)
     }
 
     /// Runs `f` pinned to a borrowed external participant.
@@ -219,6 +233,7 @@ impl ExternalPins {
         }
         let start = SCAN_OFFSET.with(|o| *o) % self.slots.len();
         let mut backoff = Backoff::new();
+        let mut waited = false;
         loop {
             for i in 0..self.slots.len() {
                 let slot = &*self.slots[(start + i) % self.slots.len()];
@@ -241,16 +256,35 @@ impl ExternalPins {
                 return result;
             }
             // All slots claimed: more than EXTERNAL_PARTICIPANTS threads are
-            // mid-injection right now.  Briefly back off and rescan.
+            // mid-injection right now.  Briefly back off and rescan — a slot
+            // frees after one queue operation, so the capped wait (≤ 50 µs)
+            // bounds the added latency while keeping the path allocation- and
+            // lock-free.  Count the episode so saturation is observable.
+            if !waited {
+                waited = true;
+                self.pin_waits.fetch_add(1, Ordering::Relaxed);
+            }
             backoff.wait_capped(std::time::Duration::from_micros(50));
         }
     }
+}
+
+thread_local! {
+    /// This thread's injection-affinity key (see
+    /// `SchedulerShared::inject_home`).  `None` until first use; worker
+    /// threads set it eagerly in `run_loop`.
+    static INJECT_HOME: std::cell::Cell<Option<usize>> =
+        const { std::cell::Cell::new(None) };
 }
 
 /// State shared by all workers of one scheduler.
 pub(crate) struct SchedulerShared {
     pub(crate) workers: Vec<CachePadded<WorkerShared>>,
     pub(crate) topology: Topology,
+    /// The injection-shard domains: a view of the hierarchy that maps every
+    /// worker to one shard of the sharded injector and gives each domain a
+    /// distance-ordered shard sweep (DESIGN.md §13).
+    pub(crate) domains: Domains,
     pub(crate) steal_policy: StealPolicy,
     pub(crate) steal_amount: StealAmount,
     /// Spin/yield rounds before a blocking site commits to a park.
@@ -269,10 +303,11 @@ pub(crate) struct SchedulerShared {
     /// Borrowed pins for threads outside the worker pool.
     pub(crate) external_pins: ExternalPins,
     /// External injection queue for root tasks submitted by
-    /// `Scheduler::scope`: a lock-free MPMC FIFO, so submitters never
-    /// serialize against each other or against idle workers polling for
-    /// work.
-    pub(crate) injector: Injector<TaskPtr>,
+    /// `Scheduler::scope`: a lock-free MPMC FIFO per hierarchy domain, so
+    /// submitters neither serialize against each other nor against idle
+    /// workers polling for work, and — with several domains — not even
+    /// against submitters with a different shard affinity (DESIGN.md §13).
+    pub(crate) injector: ShardedInjector<TaskPtr>,
     pub(crate) shutdown: AtomicBool,
 }
 
@@ -281,6 +316,7 @@ impl SchedulerShared {
         let topology = config.resolve_topology();
         let p = topology.num_threads();
         let queue_levels = topology.num_queue_levels();
+        let domains = Domains::new(&topology, config.domain_width);
         let epoch = Domain::new(p + EXTERNAL_PARTICIPANTS);
         let external_pins = ExternalPins::new(&epoch, EXTERNAL_PARTICIPANTS);
         Arc::new(SchedulerShared {
@@ -298,7 +334,10 @@ impl SchedulerShared {
             // workers pin for the whole loop iteration, external submitters
             // borrow a pinned slot via `ExternalPins::with_pinned`
             // (including drop-time draining).
-            injector: unsafe { Injector::in_domain(Arc::clone(&epoch)) },
+            injector: unsafe {
+                ShardedInjector::in_domain(domains.num_domains(), Arc::clone(&epoch))
+            },
+            domains,
             epoch,
             external_pins,
             shutdown: AtomicBool::new(false),
@@ -310,12 +349,17 @@ impl SchedulerShared {
     }
 
     /// One-line state dump of every worker (registration word, coordinator,
-    /// start countdown, queue lengths) plus the injector length.  Lock-free;
-    /// shared by the stall reporter and `Scheduler::debug_state`.
+    /// start countdown, queue lengths) plus the injector's total and
+    /// per-shard lengths.  Lock-free; shared by the stall reporter and
+    /// `Scheduler::debug_state`.
     pub(crate) fn debug_state_line(&self) -> String {
+        let shard_lens: Vec<usize> = (0..self.injector.num_shards())
+            .map(|s| self.injector.shard_len(s))
+            .collect();
         let mut line = format!(
-            "injector={} segs={} deferred={} sleepers={} searchers={}",
+            "injector={} shards={:?} segs={} deferred={} sleepers={} searchers={}",
             self.injector.len(),
+            shard_lens,
             self.injector.live_segments(),
             self.epoch.pending(),
             self.sleep.sleepers(),
@@ -337,23 +381,44 @@ impl SchedulerShared {
         line
     }
 
+    /// The calling thread's stable injection affinity: the shard index its
+    /// pushes land on.  Worker threads pin it to their own domain's shard at
+    /// startup ([`set_inject_home`]); any other thread draws a round-robin
+    /// key on first use, so concurrent external submitters spread over the
+    /// shards while each keeps per-thread FIFO order on one shard.
+    fn inject_home(&self) -> usize {
+        static NEXT_HOME: AtomicUsize = AtomicUsize::new(0);
+        INJECT_HOME.with(|home| match home.get() {
+            Some(key) => key,
+            None => {
+                let key = NEXT_HOME.fetch_add(1, Ordering::Relaxed);
+                home.set(Some(key));
+                key
+            }
+        }) % self.injector.num_shards()
+    }
+
     /// Injects a root task from outside the worker pool.  Lock-free: one
     /// CAS to borrow an external epoch pin, one `fetch_add` plus a release
-    /// store in the queue, one release store to return the pin — then a
-    /// wake for a parked worker, so external submissions reach an idle
-    /// scheduler in microseconds instead of a sleep-poll interval.
+    /// store in the affinity shard, one release store to return the pin —
+    /// then a wake for a parked worker, so external submissions reach an
+    /// idle scheduler in microseconds instead of a sleep-poll interval.
     pub(crate) fn inject(&self, ptr: *mut TaskNode) {
+        let shard = self.inject_home();
         let observed_empty = self
             .external_pins
-            .with_pinned(|| self.injector.push(TaskPtr(ptr)));
-        // Wake hint: a push that observed other elements in flight needs no
-        // wake — the transition push that made the queue non-empty already
-        // issued one (workers never park while the injector is visibly
-        // non-empty, and the consumer of each injected task chains a wake
-        // while elements remain), so skipping here only merges redundant
-        // notifications, never loses one.
+            .with_pinned(|| self.injector.push_to(shard, TaskPtr(ptr)));
+        // Wake hint: a push that observed other elements in flight on this
+        // shard needs no wake — the transition push that made the shard
+        // non-empty already issued one (workers never park while any shard
+        // is visibly non-empty, and the consumer of each injected task
+        // chains a wake while elements remain in the shard it popped), so
+        // skipping here only merges redundant notifications, never loses
+        // one.  The wake prefers a sleeper inside the shard's own domain
+        // and falls back to the global rotating scan (DESIGN.md §13).
         if observed_empty {
-            self.sleep.notify_work(false);
+            self.sleep
+                .notify_work_near(self.domains.domain_range(shard), false);
         }
     }
 
@@ -363,8 +428,10 @@ impl SchedulerShared {
     pub(crate) fn drain_leftovers(&self) {
         let mut leftovers: Vec<TaskPtr> = Vec::new();
         self.external_pins.with_pinned(|| {
-            while let Some(task) = self.injector.pop() {
-                leftovers.push(task);
+            for shard in 0..self.injector.num_shards() {
+                while let Some(task) = self.injector.pop_from(shard) {
+                    leftovers.push(task);
+                }
             }
         });
         for w in &self.workers {
@@ -436,6 +503,9 @@ pub(crate) struct Worker {
     participant: Participant,
     /// Loop iterations since start; rate-limits busy-path collection.
     loop_ticks: u64,
+    /// This worker's injection-shard domain (`domains.domain_of(id)`),
+    /// cached so the hot pop path never recomputes the mapping.
+    domain: usize,
     /// `true` while this worker is counted as searching in the sleep
     /// controller (idle, running steal rounds).
     searching: bool,
@@ -452,6 +522,7 @@ impl Worker {
             .epoch
             .register()
             .expect("epoch domain is sized for every worker");
+        let domain = shared.domains.domain_of(id);
         Worker {
             id,
             shared,
@@ -460,6 +531,7 @@ impl Worker {
             registered_counter: vec![0; p],
             participant,
             loop_ticks: 0,
+            domain,
             searching: false,
             last_searcher_rounds: 0,
         }
@@ -571,6 +643,9 @@ impl Worker {
 
     /// The scheduler's main loop (the paper's Algorithm 1 + Algorithm 5).
     pub(crate) fn run_loop(&mut self) {
+        // A worker that injects (e.g. a task body opening a nested scope)
+        // pushes to its own domain's shard, not a round-robin one.
+        INJECT_HOME.with(|home| home.set(Some(self.domain)));
         let mut idle = Backoff::new();
         loop {
             if self.shared.shutdown.load(Ordering::Acquire) {
@@ -1556,23 +1631,37 @@ impl Worker {
         0
     }
 
-    /// Pulls one externally injected root task into the local queue.
-    /// Lock-free: idle workers polling an empty injector never serialize.
+    /// Pulls one externally injected root task into the local queue:
+    /// this worker's own domain shard first, then the remaining shards in
+    /// hierarchy-distance order (DESIGN.md §13).  Lock-free: idle workers
+    /// polling empty shards never serialize.
     fn pop_injected(&mut self) -> bool {
-        match self.shared.injector.pop() {
-            Some(TaskPtr(ptr)) => {
+        let order = self.shared.domains.sweep_order(self.domain);
+        match self.shared.injector.pop_sweep(order) {
+            Some((TaskPtr(ptr), pos)) => {
+                let shard = order[pos];
+                if pos == 0 {
+                    self.me().counters.inc_injector_local_pops();
+                } else {
+                    self.me().counters.inc_injector_remote_pops();
+                }
                 // SAFETY: the node is alive while it sits in the injector.
                 let req = unsafe { (*ptr).requirement };
                 let level = self.topo().level_for_requirement(self.id, req);
                 self.me().push_task(level, ptr);
                 self.me().counters.inc_tasks_injected();
-                if !self.shared.injector.is_empty() {
-                    // Wake chain: the submit-side hint only wakes one
-                    // worker per empty→non-empty transition; each consumer
-                    // passes the wake on while elements remain.  The caller
-                    // is the searching worker that popped, so its own
-                    // searcher count must not suppress the chain.
-                    self.shared.sleep.notify_work(self.searching);
+                if self.shared.injector.shard_len(shard) > 0 {
+                    // Wake chain: the submit-side hint only wakes one worker
+                    // per shard's empty→non-empty transition; each consumer
+                    // passes the wake on while elements remain in the shard
+                    // it popped, preferring a sleeper of that shard's own
+                    // domain.  The caller is the searching worker that
+                    // popped, so its own searcher count must not suppress
+                    // the chain.
+                    self.shared.sleep.notify_work_near(
+                        self.shared.domains.domain_range(shard),
+                        self.searching,
+                    );
                 }
                 if req > 1 {
                     let group = self.topo().group_size(self.id, level);

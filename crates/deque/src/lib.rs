@@ -18,7 +18,9 @@
 //!
 //! The crate also provides [`Injector`], a lock-free unbounded MPMC FIFO the
 //! scheduler uses as its external root-task injection queue (see the
-//! [`injector`] module docs for the design).
+//! [`injector`] module docs for the design), and [`ShardedInjector`], the
+//! per-locality-domain sharding of it the scheduler actually deploys (see
+//! the [`sharded`] module docs).
 //!
 //! # Ownership protocol
 //!
@@ -58,8 +60,10 @@ use std::sync::{Arc, Mutex};
 use teamsteal_util::epoch::{Deferred, Domain, ReclaimClass};
 
 pub mod injector;
+pub mod sharded;
 
 pub use injector::Injector;
+pub use sharded::ShardedInjector;
 
 /// Result of a steal attempt (`popTop`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -565,6 +565,45 @@ mod tests {
         }
 
         #[test]
+        fn partners_are_symmetric_on_arbitrary_level_chains(
+            target in 2usize..=96,
+            seed in any::<u64>(),
+        ) {
+            // Beyond `balanced` (which halves evenly), grow an arbitrary
+            // valid level chain n_{l-1} < n_l <= 2*n_{l-1} — deliberately
+            // hitting non-power-of-two sizes at every level — and check the
+            // same partner invariants hold.
+            let mut rng = Xoshiro256::new(seed);
+            let mut sizes = vec![1usize];
+            while *sizes.last().unwrap() < target {
+                let cur = *sizes.last().unwrap();
+                let step = 1 + rng.next_usize_below(cur);
+                sizes.push((cur + step).min(target).min(2 * cur));
+            }
+            let topo = Topology::from_level_sizes(&sizes);
+            let p = topo.num_threads();
+            for i in 0..p {
+                for level in 0..topo.num_steal_levels() {
+                    if let Some(partner) = topo.partner(i, level) {
+                        prop_assert!(partner < p);
+                        prop_assert_ne!(partner, i);
+                        prop_assert_eq!(
+                            topo.group_base(i, level + 1),
+                            topo.group_base(partner, level + 1)
+                        );
+                        prop_assert_ne!(
+                            topo.group_base(i, level),
+                            topo.group_base(partner, level)
+                        );
+                        if let Some(back) = topo.partner(partner, level) {
+                            prop_assert_eq!(back, i);
+                        }
+                    }
+                }
+            }
+        }
+
+        #[test]
         fn every_pair_connected_through_top_level(p in arb_p()) {
             // Reachability: repeatedly following partner edges upwards from
             // any thread reaches threads in every top-level subgroup, which is

@@ -27,8 +27,10 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+mod domains;
 mod hierarchy;
 
+pub use domains::Domains;
 pub use hierarchy::{Level, Topology};
 
 /// Policy for choosing a steal / team-building partner at a given level.

@@ -286,6 +286,36 @@ impl EventCount {
     /// parked waiter was claimed.
     pub fn notify_one_idle(&self) -> bool {
         self.ticket.fetch_add(1, Ordering::SeqCst);
+        self.claim_one_idle_rotating()
+    }
+
+    /// Wakes one [`ParkClass::Idle`] waiter, preferring slots inside
+    /// `preferred` (scanned in order) before falling back to the global
+    /// rotating scan — the locality-aware variant of
+    /// [`notify_one_idle`](EventCount::notify_one_idle) the scheduler uses
+    /// for domain-affine injection wakes (DESIGN.md §13).  Exactly like the
+    /// anonymous wake it claims **only idle parkers**, so a handshake waiter
+    /// can never swallow it.  Returns `true` if a parked waiter was claimed.
+    pub fn notify_one_idle_in(&self, preferred: std::ops::Range<usize>) -> bool {
+        self.ticket.fetch_add(1, Ordering::SeqCst);
+        let n = self.slots.len();
+        for index in preferred.start..preferred.end.min(n) {
+            if self.slots[index].state.load(Ordering::SeqCst) != PARKED_IDLE {
+                continue;
+            }
+            if self.claim(index) {
+                return true;
+            }
+        }
+        // Fall back outward: any idle sleeper is better than a lost wake.
+        // (Re-visiting the preferred slots is harmless — they are not
+        // parked idle, so the scan skips them.)
+        self.claim_one_idle_rotating()
+    }
+
+    /// The anonymous wake scan: rotating start, claims the first
+    /// `PARKED_IDLE` slot.  The caller has already bumped the ticket.
+    fn claim_one_idle_rotating(&self) -> bool {
         let n = self.slots.len();
         let start = self.scan_from.fetch_add(1, Ordering::Relaxed);
         for i in 0..n {
@@ -452,6 +482,71 @@ mod tests {
         let wakes: Vec<u32> = waiters.into_iter().map(|w| w.join().unwrap()).collect();
         assert_eq!(wakes[0] + wakes[1] + wakes[3], 0, "only slot 2 was targeted");
         assert!(wakes[2] > 0);
+    }
+
+    #[test]
+    fn notify_one_idle_in_prefers_the_given_range() {
+        let ec = Arc::new(EventCount::new(4));
+        let stop = Arc::new(AtomicBool::new(false));
+        let woken: Arc<Vec<AtomicU64>> = Arc::new((0..4).map(|_| AtomicU64::new(0)).collect());
+        let waiters: Vec<_> = (0..4)
+            .map(|slot| {
+                let (ec, stop, woken) = (Arc::clone(&ec), Arc::clone(&stop), Arc::clone(&woken));
+                std::thread::spawn(move || loop {
+                    let t = ec.prepare_wait();
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if let WakeReason::Notified(_) = ec.park(slot, t, ParkClass::Idle, LONG) {
+                        if !stop.load(Ordering::Acquire) {
+                            woken[slot].fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(30));
+        // Repeatedly wake with a preference for slots 2..4; slots 0 and 1
+        // must never be claimed while a preferred sleeper is available.
+        let mut claimed = 0;
+        for _ in 0..50 {
+            if ec.notify_one_idle_in(2..4) {
+                claimed += 1;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(claimed > 0, "preferred-range wakes should land");
+        stop.store(true, Ordering::Release);
+        ec.notify_all();
+        for w in waiters {
+            w.join().unwrap();
+        }
+        let out_of_range: u64 = woken[0].load(Ordering::SeqCst) + woken[1].load(Ordering::SeqCst);
+        let in_range: u64 = woken[2].load(Ordering::SeqCst) + woken[3].load(Ordering::SeqCst);
+        assert!(in_range > 0, "preferred sleepers were woken");
+        assert_eq!(
+            out_of_range, 0,
+            "a preferred sleeper was always parked, so the fallback never fired"
+        );
+    }
+
+    #[test]
+    fn notify_one_idle_in_falls_back_outside_the_range() {
+        let ec = Arc::new(EventCount::new(4));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (ec2, flag2) = (Arc::clone(&ec), Arc::clone(&flag));
+        // Only slot 0 parks; a wake preferring 2..4 must still reach it.
+        let waiter = std::thread::spawn(move || loop {
+            let t = ec2.prepare_wait();
+            if flag2.load(Ordering::Acquire) {
+                break;
+            }
+            ec2.park(0, t, ParkClass::Idle, LONG);
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        flag.store(true, Ordering::Release);
+        ec.notify_one_idle_in(2..4);
+        waiter.join().unwrap();
     }
 
     #[test]
