@@ -89,7 +89,7 @@ pub use metrics::{MetricsSnapshot, WakeLatencyHistogram};
 pub use scheduler::{ReclamationSnapshot, Scheduler, SchedulerBuilder, Scope};
 pub use task::Job;
 pub use team::TeamBarrier;
-pub use worker::enable_stall_debug;
+pub use worker::{enable_stall_debug, stall_report};
 
 // Re-export the topology types users need to configure a scheduler.
 pub use teamsteal_topology::{StealPolicy, Topology};

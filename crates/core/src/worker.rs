@@ -10,7 +10,7 @@
 
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, Weak};
 use std::time::Duration;
 
 use std::cell::UnsafeCell;
@@ -43,6 +43,29 @@ static FORCE_STALL_DEBUG: AtomicBool = AtomicBool::new(false);
 /// debugging.
 pub fn enable_stall_debug() {
     FORCE_STALL_DEBUG.store(true, Ordering::Release);
+}
+
+/// Process-wide registry of live schedulers, so a watchdog that detected a
+/// hang can dump their state without holding a `Scheduler` handle.  Entries
+/// are weak; dead ones are pruned on every touch.
+static SCHEDULERS: Mutex<Vec<Weak<SchedulerShared>>> = Mutex::new(Vec::new());
+
+/// One [`Scheduler::debug_state`](crate::Scheduler::debug_state) line per
+/// scheduler currently alive in this process.
+///
+/// This is the same code path as `debug_state` and the workers' periodic
+/// stall self-reports (`debug_state_line`), so a watchdog dump, a worker's
+/// self-report, and an explicit `debug_state` call can be compared
+/// line-for-line.  Lock-free with respect to the schedulers themselves and
+/// safe to call while they are running (or wedged).
+pub fn stall_report() -> Vec<String> {
+    let mut registry = SCHEDULERS.lock().unwrap_or_else(|e| e.into_inner());
+    registry.retain(|weak| weak.strong_count() > 0);
+    registry
+        .iter()
+        .filter_map(Weak::upgrade)
+        .map(|shared| shared.debug_state_line())
+        .collect()
 }
 
 /// Per-worker state visible to other workers (the paper's per-thread
@@ -319,7 +342,7 @@ impl SchedulerShared {
         let domains = Domains::new(&topology, config.domain_width);
         let epoch = Domain::new(p + EXTERNAL_PARTICIPANTS);
         let external_pins = ExternalPins::new(&epoch, EXTERNAL_PARTICIPANTS);
-        Arc::new(SchedulerShared {
+        let shared = Arc::new(SchedulerShared {
             workers: (0..p)
                 .map(|id| CachePadded::new(WorkerShared::new(id, queue_levels, &epoch)))
                 .collect(),
@@ -341,7 +364,12 @@ impl SchedulerShared {
             epoch,
             external_pins,
             shutdown: AtomicBool::new(false),
-        })
+        });
+        let mut registry = SCHEDULERS.lock().unwrap_or_else(|e| e.into_inner());
+        registry.retain(|weak| weak.strong_count() > 0);
+        registry.push(Arc::downgrade(&shared));
+        drop(registry);
+        shared
     }
 
     pub(crate) fn num_threads(&self) -> usize {

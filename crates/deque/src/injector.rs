@@ -40,15 +40,23 @@
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 use std::sync::Arc;
+use teamsteal_util::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 
 use teamsteal_util::epoch::{Deferred, Domain, ReclaimClass};
 
 use crate::Steal;
 
 /// Slots per segment.  Power of two so index→offset is a mask.
+///
+/// Under `cfg(teamsteal_model)` the segment shrinks to 2 slots so that
+/// exhaustive model tests can cross a segment boundary (and exercise the
+/// retire-exactly-once protocol) in a handful of operations instead of 64.
+#[cfg(not(teamsteal_model))]
 pub const SEGMENT_SLOTS: usize = 64;
+/// Slots per segment (model build: tiny segments, see above).
+#[cfg(teamsteal_model)]
+pub const SEGMENT_SLOTS: usize = 2;
 
 /// Slot is empty (reserved, producer still writing).
 const EMPTY: usize = 0;

@@ -1,0 +1,146 @@
+//! A vendored, minimal deterministic-interleaving explorer ("mini-loom")
+//! for the teamsteal lock-free protocols.
+//!
+//! crates.io is offline for this repository, so instead of depending on
+//! `loom` we vendor the ~15% of it the four core protocols need:
+//!
+//! * **virtual threads** ([`thread::spawn`]) — real OS threads driven by a
+//!   token-passing controller so that exactly one runs at a time and every
+//!   context switch happens at an explicit *yield point*;
+//! * **tracked atomics** ([`sync::atomic`]) — wrappers over the std types
+//!   that record modification order and reads-from per object, give the
+//!   scheduler a yield point at every access, and (for `Relaxed` loads)
+//!   branch over a bounded window of stale values;
+//! * **a Mutex/Condvar model** ([`sync::Mutex`], [`sync::Condvar`]) for the
+//!   eventcount slots and the epoch bag queue, with virtual-time timeouts
+//!   so a parked thread's backstop can fire without wall-clock sleeps;
+//! * **a DFS schedule enumerator** ([`Builder`]) with DPOR-style sleep-set
+//!   pruning, a bounded-preemption knob, a seeded random-walk mode for the
+//!   bigger state spaces, and exact replay from a schedule string.
+//!
+//! The model's soundness boundary (what it explores faithfully, what it
+//! over-approximates as sequential consistency) is documented in
+//! DESIGN.md §14.  The protocol ports live behind `cfg(teamsteal_model)`
+//! in `teamsteal-util`/`teamsteal-deque`/`teamsteal-registration` via the
+//! `teamsteal_util::sync` shim; this crate's own tests exercise both the
+//! explorer itself (always) and the protocols (under the cfg).
+//!
+//! # Example
+//!
+//! ```
+//! use teamsteal_model::{model, sync::atomic::{AtomicUsize, Ordering}};
+//! use std::sync::Arc;
+//!
+//! model(|| {
+//!     let x = Arc::new(AtomicUsize::new(0));
+//!     let x2 = Arc::clone(&x);
+//!     let t = teamsteal_model::thread::spawn(move || {
+//!         x2.fetch_add(1, Ordering::SeqCst);
+//!     });
+//!     x.fetch_add(1, Ordering::SeqCst);
+//!     t.join().unwrap();
+//!     assert_eq!(x.load(Ordering::SeqCst), 2);
+//! });
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod execution;
+mod explorer;
+pub mod sync;
+pub mod thread;
+pub mod time;
+
+pub use explorer::{model, random_walk, replay, Builder, Report};
+
+/// Fault injection for model runs.
+///
+/// The `teamsteal_util::sync` shim consults these hooks on modeled paths
+/// so tests can exercise *defensive* protocol properties — e.g. the
+/// eventcount's §12 backstop claim ("a missed notify costs bounded
+/// latency, never a deadlock") is model-checked by dropping a
+/// notification here and asserting the parked thread still makes
+/// progress via its timeout.
+pub mod fault {
+    use std::sync::atomic::Ordering;
+
+    /// Arrange for the next `n` shim-level notifications to be dropped
+    /// (decrements as they are consumed).  No-op outside a model run;
+    /// the counter is per-execution, so each explored schedule starts
+    /// from whatever the closure sets.
+    pub fn drop_next_notifies(n: u64) {
+        if let Some(ctx) = crate::execution::current() {
+            ctx.exec.drop_notifies.store(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Consume one pending dropped-notify token.  Returns true if the
+    /// caller (the shim's notify path) should swallow this notification.
+    pub fn take_dropped_notify() -> bool {
+        let Some(ctx) = crate::execution::current() else {
+            return false;
+        };
+        ctx.exec
+            .drop_notifies
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+            .is_ok()
+    }
+}
+
+/// One scheduling decision: which virtual thread runs next, and (for
+/// operations with several legal outcomes, e.g. a `Relaxed` load choosing
+/// among a window of stale values) which outcome variant it takes.
+///
+/// A schedule is a sequence of choices; its [`core::fmt::Display`] form
+/// (`"0 1 2.1 0"`, thread id with an optional `.variant` suffix) is stable
+/// and accepted back by [`replay`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Choice {
+    /// Virtual thread id granted this step (0 is the root closure).
+    pub tid: usize,
+    /// Outcome variant index; 0 is the "latest value" / default outcome.
+    pub variant: u8,
+}
+
+impl core::fmt::Display for Choice {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.variant == 0 {
+            write!(f, "{}", self.tid)
+        } else {
+            write!(f, "{}.{}", self.tid, self.variant)
+        }
+    }
+}
+
+impl core::str::FromStr for Choice {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (t, v) = match s.split_once('.') {
+            Some((t, v)) => (t, v.parse::<u8>().map_err(|e| e.to_string())?),
+            None => (s, 0),
+        };
+        Ok(Choice {
+            tid: t.parse::<usize>().map_err(|e| e.to_string())?,
+            variant: v,
+        })
+    }
+}
+
+/// Render a schedule as its canonical space-separated string form.
+pub fn schedule_to_string(schedule: &[Choice]) -> String {
+    let mut out = String::new();
+    for (i, c) in schedule.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(&c.to_string());
+    }
+    out
+}
+
+/// Parse a schedule string produced by [`schedule_to_string`] (or printed
+/// in a model failure report) back into choices.
+pub fn parse_schedule(s: &str) -> Result<Vec<Choice>, String> {
+    s.split_whitespace().map(str::parse).collect()
+}

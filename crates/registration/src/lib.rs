@@ -29,7 +29,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use teamsteal_util::sync::atomic::{AtomicU64, Ordering};
 
 /// Maximum value representable in each 16-bit field; also the largest
 /// supported thread count / requirement.

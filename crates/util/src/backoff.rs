@@ -6,7 +6,9 @@
 //! module implements that policy with a cheap spinning phase before the timed
 //! sleeping phase so that short contention windows never reach the kernel.
 
-use std::time::{Duration, Instant};
+use crate::sync::thread as shim_thread;
+use crate::sync::time::Instant;
+use std::time::Duration;
 
 /// Initial sleep interval of the timed phase (the paper's 1 µs).
 pub const INITIAL_SLEEP: Duration = Duration::from_micros(1);
@@ -143,9 +145,9 @@ impl Backoff {
                 core::hint::spin_loop();
             }
         } else if self.rounds <= SPIN_LIMIT + YIELD_LIMIT {
-            std::thread::yield_now();
+            shim_thread::yield_now();
         } else {
-            std::thread::sleep(self.sleep);
+            shim_thread::sleep(self.sleep);
             self.sleep = (self.sleep * 2).min(MAX_SLEEP);
         }
         self.rounds = self.rounds.saturating_add(1);
@@ -167,14 +169,14 @@ impl Backoff {
                 core::hint::spin_loop();
             }
         } else if self.rounds <= SPIN_LIMIT + YIELD_LIMIT {
-            std::thread::yield_now();
+            shim_thread::yield_now();
         } else {
             match self.capped_interval(cap) {
                 Some(interval) => {
-                    std::thread::sleep(interval);
+                    shim_thread::sleep(interval);
                     self.sleep = (self.sleep * 2).min(MAX_SLEEP).min(cap.max(INITIAL_SLEEP));
                 }
-                None => std::thread::yield_now(),
+                None => shim_thread::yield_now(),
             }
         }
         self.rounds = self.rounds.saturating_add(1);
@@ -198,7 +200,7 @@ impl Backoff {
                 core::hint::spin_loop();
             }
         } else {
-            std::thread::yield_now();
+            shim_thread::yield_now();
         }
         self.rounds = self.rounds.saturating_add(1);
     }
@@ -300,7 +302,7 @@ mod tests {
         let mut b = Backoff::new();
         assert_eq!(b.unproductive_for(), Duration::ZERO);
         b.note_round();
-        std::thread::sleep(Duration::from_millis(5));
+        shim_thread::sleep(Duration::from_millis(5));
         assert!(b.unproductive_for() >= Duration::from_millis(4));
         b.reset();
         assert_eq!(b.unproductive_for(), Duration::ZERO);

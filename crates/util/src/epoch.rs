@@ -66,8 +66,9 @@
 //! assert_eq!(freed.freed_segments, 1);
 //! ```
 
-use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use crate::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::Mutex;
+use std::sync::Arc;
 
 use crate::CachePadded;
 

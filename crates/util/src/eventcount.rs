@@ -54,9 +54,10 @@
 //! waiter.join().unwrap();
 //! ```
 
-use std::sync::atomic::{fence, AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
-use std::time::{Duration, Instant};
+use crate::sync::atomic::{fence, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::time::Instant;
+use crate::sync::{Condvar, Mutex};
+use std::time::Duration;
 
 use crate::CachePadded;
 
@@ -285,6 +286,14 @@ impl EventCount {
     /// instead of sleeping through this notification.  Returns `true` if a
     /// parked waiter was claimed.
     pub fn notify_one_idle(&self) -> bool {
+        // Fault injection (model builds only): swallow the notification
+        // entirely — no ticket bump, no claim — so model tests can check
+        // the §12 defensive-backstop claim that a *lost* wake costs
+        // bounded latency rather than a deadlock.
+        #[cfg(teamsteal_model)]
+        if crate::sync::fault::take_dropped_notify() {
+            return false;
+        }
         self.ticket.fetch_add(1, Ordering::SeqCst);
         self.claim_one_idle_rotating()
     }

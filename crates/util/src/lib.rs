@@ -37,6 +37,7 @@ pub mod eventcount;
 pub mod rng;
 pub mod sendptr;
 pub mod slab;
+pub mod sync;
 pub mod timing;
 
 pub use backoff::Backoff;

@@ -1,0 +1,62 @@
+//! Synchronization shim: `std::sync` in production, `teamsteal-model`
+//! under `--cfg teamsteal_model`.
+//!
+//! The four lock-free protocols (registration word, sharded injector,
+//! epoch domain, eventcount) import *all* of their atomics, locks,
+//! condvars, time reads, and sleeps from this module instead of `std`.
+//! Built normally, everything re-exports the std types at zero cost.
+//! Built with `RUSTFLAGS='--cfg teamsteal_model'`, the same names resolve
+//! to the deterministic-interleaving model in `teamsteal-model`, so the
+//! protocol sources compile unchanged against both worlds — no forked
+//! logic, no `#[cfg]` in the protocol bodies themselves.
+//!
+//! See DESIGN.md §14 for the model's soundness boundary and the mapping
+//! from protocol ordering tables to model tests.
+
+/// Tracked (or std) atomic integer/pointer types and fences.
+pub mod atomic {
+    #[cfg(not(teamsteal_model))]
+    pub use std::sync::atomic::{
+        fence, AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+    };
+
+    #[cfg(teamsteal_model)]
+    pub use teamsteal_model::sync::atomic::{
+        fence, AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+    };
+}
+
+#[cfg(not(teamsteal_model))]
+pub use std::sync::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+
+#[cfg(teamsteal_model)]
+pub use teamsteal_model::sync::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+
+/// Time source for modeled paths: virtual time under the model (advanced
+/// deterministically by the scheduler, jumped to the earliest deadline on
+/// timeout escapes), `std::time::Instant` otherwise.  `Duration` is
+/// always the std type.
+pub mod time {
+    #[cfg(not(teamsteal_model))]
+    pub use std::time::Instant;
+
+    #[cfg(teamsteal_model)]
+    pub use teamsteal_model::time::Instant;
+}
+
+/// Thread yields/sleeps on modeled paths: under the model a sleep only
+/// advances the virtual clock and yields, never blocking the OS thread.
+pub mod thread {
+    #[cfg(not(teamsteal_model))]
+    pub use std::thread::{sleep, yield_now};
+
+    #[cfg(teamsteal_model)]
+    pub use teamsteal_model::thread::{sleep, yield_now};
+}
+
+/// Fault-injection hooks, compiled only under the model cfg (production
+/// builds have no fault paths).  See `teamsteal_model::fault`.
+#[cfg(teamsteal_model)]
+pub mod fault {
+    pub use teamsteal_model::fault::{drop_next_notifies, take_dropped_notify};
+}

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Grep-level sanity checks for the TLA+ specs in specs/tla/.
+#
+# This is NOT a model checker: CI has no TLC/Java toolchain, so this script
+# only guards the specs against the failure modes a text edit can introduce —
+# a renamed module that no longer matches its file, a deleted invariant that
+# DESIGN.md still cites, unbalanced comment blocks, a missing terminator.
+# Run TLC locally (see the footer of each spec for a model config) when
+# changing the protocols themselves.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+fail=0
+
+err() {
+    echo "check_tla: $1" >&2
+    fail=1
+}
+
+check_defined() {
+    local file="$1" op="$2"
+    grep -Eq "^${op}[[:space:]]*==" "$file" || err "$file: operator '$op' is not defined"
+}
+
+specs=(specs/tla/*.tla)
+[ -e "${specs[0]}" ] || { err "no specs found under specs/tla/"; exit 1; }
+
+for file in "${specs[@]}"; do
+    name="$(basename "$file" .tla)"
+
+    grep -Eq "^-+ MODULE ${name} -+$" "$file" \
+        || err "$file: MODULE header missing or does not match filename"
+    grep -Eq "^=====*$" "$file" || err "$file: module terminator (====) missing"
+    grep -q "^EXTENDS" "$file" || err "$file: EXTENDS clause missing"
+
+    for op in Init Next Spec TypeOK Invariants Progress; do
+        check_defined "$file" "$op"
+    done
+
+    opens=$(grep -o "(\*" "$file" | wc -l)
+    closes=$(grep -o "\*)" "$file" | wc -l)
+    [ "$opens" -eq "$closes" ] \
+        || err "$file: unbalanced comment blocks ($opens '(*' vs $closes '*)')"
+done
+
+# The invariants DESIGN.md Section 14 cites by name must keep existing.
+for op in WellFormed NoTornTeam ExactlyOnceSlot NoDoubleRelease; do
+    check_defined specs/tla/Registration.tla "$op"
+done
+for op in NoLostWakeup ExactlyOnceClaim TicketMonotone; do
+    check_defined specs/tla/Parking.tla "$op"
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "check_tla: FAILED" >&2
+    exit 1
+fi
+echo "check_tla: ${#specs[@]} spec(s) OK"

@@ -1,0 +1,215 @@
+------------------------------ MODULE Parking ------------------------------
+(***************************************************************************)
+(* TLA+ specification of the eventcount parking protocol behind the       *)
+(* scheduler's event-driven sleep (DESIGN.md Sections 10 and 12;          *)
+(* crates/util/src/eventcount.rs).                                         *)
+(*                                                                         *)
+(* Producers publish work and then notify; waiters run the three-step     *)
+(* wait protocol  prepare (read ticket) -> recheck -> park.  A notifier   *)
+(* always bumps the global ticket first and then tries to claim a parked  *)
+(* slot, so a waiter committing to sleep either sees the published work   *)
+(* on its recheck, aborts on the moved ticket, or is claimed in its slot. *)
+(*                                                                         *)
+(* Critical invariants verified:                                           *)
+(*   P1: NoLostWakeup   - a waiter is never durably parked while          *)
+(*                        unconsumed work and a spent notification exist   *)
+(*   P2: ExactlyOnceClaim - each notification claims at most one waiter   *)
+(*   P3: TicketMonotone - the ticket never moves backwards                 *)
+(*   P4: Progress       - published work is eventually consumed, even     *)
+(*                        when the notify is dropped (Section 12          *)
+(*                        backstop), as long as backstop wakes are fair    *)
+(*                                                                         *)
+(* Model-checked counterparts: crates/model/tests/eventcount_model.rs      *)
+(*   P1,P2 <-> publish_then_notify_is_never_lost,                          *)
+(*             push_observed_empty_wakes_the_parked_popper                 *)
+(*   P4    <-> dropped_notify_is_rescued_by_the_backstop                   *)
+(***************************************************************************)
+
+EXTENDS Integers, FiniteSets, TLC
+
+CONSTANTS
+    Waiters,          \* Set of waiter thread ids (one eventcount slot each)
+    MaxWork,          \* Work items the producer may publish (model bound)
+    DropBudget        \* Notifications the fault injector may swallow
+
+ASSUME Cardinality(Waiters) > 0
+ASSUME MaxWork >= 1
+ASSUME DropBudget >= 0
+
+VARIABLES
+    ticket,           \* Global notification ticket (monotone counter)
+    slot,             \* Function: Waiter -> {"empty","parked","notified"}
+    waiterPc,         \* Function: Waiter -> {"active","prepared","asleep","backstop"}
+    seenTicket,       \* Function: Waiter -> ticket read at prepare_wait
+    work,             \* Unconsumed published work items
+    published,        \* Total work items ever published
+    dropsLeft         \* Remaining fault-injection budget (Section 12 test)
+
+vars == <<ticket, slot, waiterPc, seenTicket, work, published, dropsLeft>>
+
+-----------------------------------------------------------------------------
+(* Type definitions *)
+
+TypeOK ==
+    /\ ticket \in Nat
+    /\ slot \in [Waiters -> {"empty", "parked", "notified"}]
+    /\ waiterPc \in [Waiters -> {"active", "prepared", "asleep", "backstop"}]
+    /\ seenTicket \in [Waiters -> Nat]
+    /\ work \in 0..MaxWork
+    /\ published \in 0..MaxWork
+    /\ dropsLeft \in 0..DropBudget
+
+ParkedWaiters == {w \in Waiters : waiterPc[w] = "asleep"}
+
+-----------------------------------------------------------------------------
+
+Init ==
+    /\ ticket = 0
+    /\ slot = [w \in Waiters |-> "empty"]
+    /\ waiterPc = [w \in Waiters |-> "active"]
+    /\ seenTicket = [w \in Waiters |-> 0]
+    /\ work = 0
+    /\ published = 0
+    /\ dropsLeft = DropBudget
+
+-----------------------------------------------------------------------------
+(* Producer transitions. *)
+
+(* Publish one work item (the injector push that observed empty). *)
+Publish ==
+    /\ published < MaxWork
+    /\ work' = work + 1
+    /\ published' = published + 1
+    /\ UNCHANGED <<ticket, slot, waiterPc, seenTicket, dropsLeft>>
+
+(* notify_one_idle, step 1: bump the ticket.  The bump is ordered before  *)
+(* the claim scan, which is what closes the prepare->recheck->park race.  *)
+(* Claiming a parked slot is a separate atomic step (NotifyClaim) - the   *)
+(* protocol does not require bump+claim to be one action.                 *)
+NotifyBump ==
+    /\ work > 0                             \* notifies follow a publish
+    /\ ticket' = ticket + 1
+    /\ UNCHANGED <<slot, waiterPc, seenTicket, work, published, dropsLeft>>
+
+(* notify_one_idle, step 2: CAS one parked slot to notified.              *)
+NotifyClaim(w) ==
+    /\ slot[w] = "parked"
+    /\ ticket > seenTicket[w]               \* a bump preceded the scan
+    /\ slot' = [slot EXCEPT ![w] = "notified"]
+    /\ UNCHANGED <<ticket, waiterPc, seenTicket, work, published, dropsLeft>>
+
+(* Section 12 fault injection: the whole notification (bump AND claim)    *)
+(* is swallowed.  Only the backstop can save a committed sleeper now.     *)
+NotifyDropped ==
+    /\ work > 0
+    /\ dropsLeft > 0
+    /\ dropsLeft' = dropsLeft - 1
+    /\ UNCHANGED <<ticket, slot, waiterPc, seenTicket, work, published>>
+
+-----------------------------------------------------------------------------
+(* Waiter transitions (prepare -> recheck -> park). *)
+
+(* prepare_wait: fence and read the ticket. *)
+Prepare(w) ==
+    /\ waiterPc[w] = "active"
+    /\ seenTicket' = [seenTicket EXCEPT ![w] = ticket]
+    /\ waiterPc' = [waiterPc EXCEPT ![w] = "prepared"]
+    /\ UNCHANGED <<ticket, slot, work, published, dropsLeft>>
+
+(* Recheck hit: the condition is true, consume and do not park. *)
+RecheckConsume(w) ==
+    /\ waiterPc[w] \in {"active", "prepared"}
+    /\ work > 0
+    /\ work' = work - 1
+    /\ waiterPc' = [waiterPc EXCEPT ![w] = "active"]
+    /\ UNCHANGED <<ticket, slot, seenTicket, published, dropsLeft>>
+
+(* Park commit: publish the parked slot.  The subsequent ticket re-read   *)
+(* is modeled by ParkAbort - a waiter whose ticket already moved wakes    *)
+(* immediately and never sleeps through the notification.                 *)
+ParkCommit(w) ==
+    /\ waiterPc[w] = "prepared"
+    /\ work = 0 \/ ticket = seenTicket[w]   \* recheck missed
+    /\ slot' = [slot EXCEPT ![w] = "parked"]
+    /\ waiterPc' = [waiterPc EXCEPT ![w] = "asleep"]
+    /\ UNCHANGED <<ticket, seenTicket, work, published, dropsLeft>>
+
+(* Ticket moved between prepare and the in-park re-read: abort the sleep. *)
+ParkAbort(w) ==
+    /\ waiterPc[w] = "asleep"
+    /\ slot[w] = "parked"
+    /\ ticket # seenTicket[w]
+    /\ slot' = [slot EXCEPT ![w] = "empty"]
+    /\ waiterPc' = [waiterPc EXCEPT ![w] = "active"]
+    /\ UNCHANGED <<ticket, seenTicket, work, published, dropsLeft>>
+
+(* A claimed waiter wakes and reclaims its slot. *)
+WakeNotified(w) ==
+    /\ waiterPc[w] = "asleep"
+    /\ slot[w] = "notified"
+    /\ slot' = [slot EXCEPT ![w] = "empty"]
+    /\ waiterPc' = [waiterPc EXCEPT ![w] = "active"]
+    /\ UNCHANGED <<ticket, seenTicket, work, published, dropsLeft>>
+
+(* Section 12 defensive backstop: the timeout fires on a still-parked     *)
+(* waiter.  In a healthy run this is unreachable for lack of need; with   *)
+(* NotifyDropped it is the only wake left.                                *)
+BackstopWake(w) ==
+    /\ waiterPc[w] = "asleep"
+    /\ slot[w] = "parked"
+    /\ slot' = [slot EXCEPT ![w] = "empty"]
+    /\ waiterPc' = [waiterPc EXCEPT ![w] = "active"]
+    /\ UNCHANGED <<ticket, seenTicket, work, published, dropsLeft>>
+
+-----------------------------------------------------------------------------
+
+Next ==
+    \/ Publish \/ NotifyBump \/ NotifyDropped
+    \/ \E w \in Waiters :
+        \/ NotifyClaim(w) \/ Prepare(w) \/ RecheckConsume(w)
+        \/ ParkCommit(w) \/ ParkAbort(w) \/ WakeNotified(w) \/ BackstopWake(w)
+
+(* Fairness: claimed and aborted waiters eventually wake; the backstop    *)
+(* timer eventually fires on a parked waiter; consumers eventually        *)
+(* consume.  Nothing forces the producer to notify - P1 must hold anyway. *)
+Spec ==
+    /\ Init /\ [][Next]_vars
+    /\ \A w \in Waiters :
+        WF_vars(WakeNotified(w)) /\ WF_vars(ParkAbort(w)) /\
+        WF_vars(BackstopWake(w)) /\ WF_vars(RecheckConsume(w))
+
+-----------------------------------------------------------------------------
+(* Invariants *)
+
+(* P1: no lost wakeup - if work is unconsumed and some notification bump  *)
+(* happened after a waiter prepared, that waiter is not silently asleep:  *)
+(* either its slot was claimed, or the moved ticket lets it abort (the    *)
+(* ParkAbort action is enabled).  A state where a waiter sleeps with      *)
+(* slot = "parked", an unchanged ticket view, and a spent notification    *)
+(* would be a lost wakeup - it is unreachable.                            *)
+NoLostWakeup ==
+    \A w \in Waiters :
+        (waiterPc[w] = "asleep" /\ slot[w] = "parked" /\ ticket # seenTicket[w])
+            => ENABLED ParkAbort(w)
+
+(* P2: a notification claims at most one waiter per bump: claimed slots   *)
+(* never outnumber ticket bumps.                                          *)
+ExactlyOnceClaim == Cardinality({w \in Waiters : slot[w] = "notified"}) <= ticket
+
+(* P3: the ticket is monotone (no waiter ever holds a view from the       *)
+(* future).                                                               *)
+TicketMonotone == \A w \in Waiters : seenTicket[w] <= ticket
+
+Invariants == TypeOK /\ NoLostWakeup /\ ExactlyOnceClaim /\ TicketMonotone
+
+(* P4: progress - published work is eventually consumed even when every   *)
+(* notification is dropped: the backstop (weak-fair) unparks sleepers.    *)
+Progress == [](work > 0 ~> work = 0)
+
+=============================================================================
+\* Model-check with e.g.:
+\*   Waiters    <- {w1, w2}
+\*   MaxWork    <- 2
+\*   DropBudget <- 1
+\* INVARIANTS Invariants
+\* PROPERTIES Progress

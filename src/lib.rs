@@ -50,9 +50,9 @@
 #![warn(missing_docs)]
 
 pub use teamsteal_core::{
-    enable_stall_debug, Job, MetricsSnapshot, ReclamationSnapshot, Scheduler, SchedulerBuilder,
-    SchedulerConfig, Scope, StealAmount, StealPolicy, TaskContext, TeamBarrier, Topology,
-    WakeLatencyHistogram,
+    enable_stall_debug, stall_report, Job, MetricsSnapshot, ReclamationSnapshot, Scheduler,
+    SchedulerBuilder, SchedulerConfig, Scope, StealAmount, StealPolicy, TaskContext, TeamBarrier,
+    Topology, WakeLatencyHistogram,
 };
 pub use teamsteal_data::{is_permutation_of, is_sorted, Distribution, Scale};
 pub use teamsteal_sort::{

@@ -48,11 +48,20 @@ where
         Err(RecvTimeoutError::Timeout) => {
             eprintln!(
                 "[watchdog] test '{name}' still running after {timeout:?} — \
-                 scheduler liveness regression.  Enabling stall dumps and \
-                 collecting worker state for ~5s before aborting."
+                 scheduler liveness regression.  Dumping scheduler state, then \
+                 enabling worker stall self-reports for ~5s before aborting."
             );
+            // Same code path as `Scheduler::debug_state` and the workers'
+            // periodic stall self-reports, so the immediate dump below and
+            // the self-reports that follow are directly comparable.
+            for (i, line) in teamsteal::stall_report().iter().enumerate() {
+                eprintln!("[watchdog] scheduler #{i}: {line}");
+            }
             teamsteal::enable_stall_debug();
             std::thread::sleep(Duration::from_secs(5));
+            for (i, line) in teamsteal::stall_report().iter().enumerate() {
+                eprintln!("[watchdog] scheduler #{i} (after 5s): {line}");
+            }
             eprintln!("[watchdog] aborting '{name}'.");
             std::process::abort();
         }
