@@ -233,7 +233,7 @@ impl EventCount {
                     .saturating_sub(s.notified_at_ns.load(Ordering::Relaxed));
                 break WakeReason::Notified(Duration::from_nanos(latency));
             }
-            if self.ticket.load(Ordering::Relaxed) != ticket {
+            if self.ticket.load(Ordering::SeqCst) != ticket {
                 break WakeReason::TicketChanged;
             }
             let now = Instant::now();
