@@ -32,6 +32,16 @@
 //! * [`idle_burn`] — CPU time an otherwise idle scheduler burns per second
 //!   of wall time.  Near-zero with event-driven parking; proportional to
 //!   `p / poll-interval` under sleep-polling.
+//! * [`team_build_streak`] / [`team_build_cold`] — team-build latency
+//!   (submit → first team-member instruction) for back-to-back same-`r`
+//!   team tasks vs the same tasks spaced past the warm keep-alive window:
+//!   the direct measurement of the warm team-reuse pool (DESIGN.md §15).
+//!   Like `wakeup_latency`, the samples *are* the latencies.
+//! * [`team_build_mix`] — a bursty heterogeneous requirement mix (fixed-`r`
+//!   streaks, moldable ranges, sequential riders) driving the moldable-`r`
+//!   chooser, shrink-reuse and the reuse pool together; its scheduler
+//!   counter deltas (`teams_built`, `team_reuses`, `team_shrinks`) tell how
+//!   much registration traffic the pool amortized away.
 //!
 //! Every scenario validates its own execution count, so a scheduler that
 //! drops or duplicates tasks can never report a good time.
@@ -353,6 +363,148 @@ pub fn wakeup_latency(scheduler: &Scheduler, submissions: usize) -> Vec<Duration
     samples
 }
 
+/// Gap inserted before every [`team_build_cold`] submission: comfortably
+/// past the default warm keep-alive window (200 µs), so every cold team
+/// task finds the previous team disbanded and pays the full registration
+/// protocol.
+pub const TEAM_BUILD_COLD_GAP: Duration = Duration::from_millis(2);
+
+/// Outcome of one team-build latency run ([`team_build_streak`] /
+/// [`team_build_cold`]).
+#[derive(Debug, Clone, Default)]
+pub struct TeamBuildOutcome {
+    /// Wall-clock time of the whole run (including any cold gaps).
+    pub duration: Duration,
+    /// Team tasks submitted (and executed — the count is asserted).
+    pub tasks: usize,
+    /// Submit-to-team-start latency of every task: time from just before the
+    /// `run_team` submission to team member 0's first instruction.
+    pub submit_to_start: Vec<Duration>,
+}
+
+/// `tasks` back-to-back `run_team(r, …)` submissions with no gap: after the
+/// first build, each next task arrives inside the warm keep-alive window and
+/// should reuse the still-formed team (one publication write instead of the
+/// full registration protocol).  The per-task submit-to-start latencies are
+/// returned so the warm fast path is measured directly.
+///
+/// # Panics
+///
+/// Panics if any team task fails to execute exactly once.
+pub fn team_build_streak(scheduler: &Scheduler, r: usize, tasks: usize) -> TeamBuildOutcome {
+    team_build_run(scheduler, r, tasks, None)
+}
+
+/// The cold-path control for [`team_build_streak`]: identical submissions,
+/// but each preceded by a [`TEAM_BUILD_COLD_GAP`] pause so the warm window
+/// has expired and every task rebuilds its team from scratch.  The gap is
+/// outside the per-task latency samples (each sample starts at its own
+/// submission), so `streak` vs `cold` sample medians compare the reuse fast
+/// path against the full protocol on otherwise identical work.
+///
+/// # Panics
+///
+/// Panics if any team task fails to execute exactly once.
+pub fn team_build_cold(scheduler: &Scheduler, r: usize, tasks: usize) -> TeamBuildOutcome {
+    team_build_run(scheduler, r, tasks, Some(TEAM_BUILD_COLD_GAP))
+}
+
+fn team_build_run(
+    scheduler: &Scheduler,
+    r: usize,
+    tasks: usize,
+    gap: Option<Duration>,
+) -> TeamBuildOutcome {
+    let executed = Arc::new(AtomicUsize::new(0));
+    let mut submit_to_start = Vec::with_capacity(tasks);
+    let (duration, ()) = time(|| {
+        for _ in 0..tasks {
+            if let Some(gap) = gap {
+                std::thread::sleep(gap);
+            }
+            let started_ns = Arc::new(AtomicU64::new(u64::MAX));
+            let cell = Arc::clone(&started_ns);
+            let counter = Arc::clone(&executed);
+            let submit = Instant::now();
+            scheduler.run_team(r, move |ctx| {
+                if ctx.local_id() == 0 {
+                    cell.store(submit.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }
+                ctx.barrier();
+            });
+            let ns = started_ns.load(Ordering::Relaxed);
+            assert_ne!(ns, u64::MAX, "a team_build task never started");
+            submit_to_start.push(Duration::from_nanos(ns));
+        }
+    });
+    assert_eq!(
+        executed.load(Ordering::Relaxed),
+        tasks,
+        "team_build lost or duplicated team tasks"
+    );
+    TeamBuildOutcome {
+        duration,
+        tasks,
+        submit_to_start,
+    }
+}
+
+/// Fixed-`r` team tasks per burst of the [`team_build_mix`] scenario.
+pub const MIX_STREAK: usize = 4;
+
+/// One timed heterogeneous-requirement run: a root task spawns `bursts`
+/// bursts, each a streak of [`MIX_STREAK`] fixed-`r` team tasks, one
+/// **moldable** `1..=r` task (the scheduler picks its effective size from
+/// current load) and one sequential rider.  The pattern exercises the
+/// moldable-`r` chooser, the shrink-reuse rule (§3.1) and the warm pool in
+/// one scope; the caller reads the `teams_built` / `team_reuses` /
+/// `team_shrinks` counter deltas for the reuse hit rate.
+///
+/// # Panics
+///
+/// Panics if not exactly `bursts * (MIX_STREAK + 2)` tasks executed.
+pub fn team_build_mix(scheduler: &Scheduler, bursts: usize) -> Duration {
+    let executed = Arc::new(AtomicUsize::new(0));
+    let counter = Arc::clone(&executed);
+    let (duration, ()) = time(|| {
+        scheduler.scope(|scope| {
+            let counter = Arc::clone(&counter);
+            scope.spawn(move |ctx| {
+                let wide = ctx.num_threads().min(4);
+                for _ in 0..bursts {
+                    for _ in 0..MIX_STREAK {
+                        let c = Arc::clone(&counter);
+                        ctx.spawn_team(wide, move |tc| {
+                            if tc.local_id() == 0 {
+                                c.fetch_add(1, Ordering::Relaxed);
+                            }
+                            tc.barrier();
+                        });
+                    }
+                    let c = Arc::clone(&counter);
+                    ctx.spawn_team_moldable(1..=wide, move |tc| {
+                        if tc.local_id() == 0 {
+                            c.fetch_add(1, Ordering::Relaxed);
+                        }
+                        tc.barrier();
+                    });
+                    let c = Arc::clone(&counter);
+                    ctx.spawn(move |_| {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+    });
+    assert_eq!(
+        executed.load(Ordering::Relaxed),
+        bursts * (MIX_STREAK + 2),
+        "team_build_mix lost or duplicated tasks"
+    );
+    duration
+}
+
 /// Gauges recorded by one [`idle_burn`] run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IdleBurnOutcome {
@@ -499,6 +651,61 @@ mod tests {
         assert_eq!(
             delta.injector_local_pops + delta.injector_remote_pops,
             delta.tasks_injected
+        );
+    }
+
+    #[test]
+    fn team_build_streak_reuses_the_warm_team() {
+        let scheduler = Scheduler::with_threads(4);
+        let before = scheduler.metrics();
+        let outcome = team_build_streak(&scheduler, 4, 48);
+        assert_eq!(outcome.tasks, 48);
+        assert_eq!(outcome.submit_to_start.len(), 48);
+        let delta = scheduler.metrics().delta_since(&before);
+        // Every team publication is classified as a cold build or a warm
+        // reuse, never both and never neither.
+        assert_eq!(delta.teams_built + delta.team_reuses, 48);
+        // Back-to-back same-r submissions land inside the keep-alive
+        // window; over 48 of them some must hit the warm pool.
+        assert!(
+            delta.team_reuses > 0,
+            "no warm reuse over 48 back-to-back team tasks"
+        );
+    }
+
+    #[test]
+    fn team_build_cold_pays_the_full_protocol() {
+        let scheduler = Scheduler::with_threads(4);
+        let before = scheduler.metrics();
+        let outcome = team_build_cold(&scheduler, 4, 8);
+        assert_eq!(outcome.submit_to_start.len(), 8);
+        let delta = scheduler.metrics().delta_since(&before);
+        assert_eq!(delta.teams_built + delta.team_reuses, 8);
+        // With every submission spaced past the keep-alive window, most
+        // teams are rebuilt from scratch (a reuse would need the previous
+        // team to outlive its window, which only extreme descheduling of
+        // the coordinator can cause).
+        assert!(
+            delta.teams_built > 0,
+            "cold-gap submissions never rebuilt a team"
+        );
+    }
+
+    #[test]
+    fn team_build_mix_amortizes_registration() {
+        let scheduler = Scheduler::with_threads(4);
+        let before = scheduler.metrics();
+        let d = team_build_mix(&scheduler, 6);
+        assert!(d > Duration::ZERO);
+        let delta = scheduler.metrics().delta_since(&before);
+        assert!(delta.teams_built >= 1);
+        // The fixed-r streaks queue together, so after the first build the
+        // remaining streak publications ride the formed team.
+        assert!(
+            delta.team_reuses as usize >= 6 * MIX_STREAK - 1,
+            "only {} reuses over {} streak tasks",
+            delta.team_reuses,
+            6 * MIX_STREAK
         );
     }
 

@@ -57,6 +57,7 @@ struct Sweeps {
     soak: bool,
     wakeup_latency: bool,
     idle_burn: bool,
+    team_build: bool,
 }
 
 impl Default for Sweeps {
@@ -69,6 +70,7 @@ impl Default for Sweeps {
             soak: true,
             wakeup_latency: true,
             idle_burn: true,
+            team_build: true,
         }
     }
 }
@@ -82,6 +84,7 @@ impl Sweeps {
         soak: false,
         wakeup_latency: false,
         idle_burn: false,
+        team_build: false,
     };
 
     /// `true` when any family writing into `BENCH_kernels.json` runs.
@@ -92,6 +95,7 @@ impl Sweeps {
             || self.soak
             || self.wakeup_latency
             || self.idle_burn
+            || self.team_build
     }
 
     /// `true` when every `BENCH_kernels.json` family runs (no carryover
@@ -103,6 +107,7 @@ impl Sweeps {
             && self.soak
             && self.wakeup_latency
             && self.idle_burn
+            && self.team_build
     }
 }
 
@@ -145,8 +150,8 @@ const HELP: &str = "Perf-trajectory harness (writes BENCH_sort.json / BENCH_kern
   --seed N           input seed (default 42)
   --out-dir PATH     output directory (default .)
   --only LIST        comma-separated sweep families to run: sort,kernel,
-                     micro,injection_throughput,soak,wakeup_latency,idle_burn
-                     (default: all seven)
+                     micro,injection_throughput,soak,wakeup_latency,idle_burn,
+                     team_build (default: all eight)
   --check FILE       fail (exit 1) on MMPar median regression vs baseline FILE;
                      with --smoke the comparison runs a dedicated MMPar pass at
                      the baseline's recorded size/threads so medians compare
@@ -212,11 +217,12 @@ fn parse_args() -> Result<Options, String> {
                         "soak" => sweeps.soak = true,
                         "wakeup_latency" => sweeps.wakeup_latency = true,
                         "idle_burn" => sweeps.idle_burn = true,
+                        "team_build" => sweeps.team_build = true,
                         other => {
                             return Err(format!(
                                 "unknown sweep family '{other}' (expected sort, kernel, \
-                                 micro, injection_throughput, soak, wakeup_latency or \
-                                 idle_burn)"
+                                 micro, injection_throughput, soak, wakeup_latency, \
+                                 idle_burn or team_build)"
                             ))
                         }
                     }
@@ -850,6 +856,133 @@ fn sweep_idle_burn(opts: &Options) -> Vec<RunRecord> {
     records
 }
 
+/// Sweeps the team-build latency scenarios
+/// ([`micro::team_build_streak`], [`micro::team_build_cold`],
+/// [`micro::team_build_mix`]) over the thread counts (skipping `p = 1`,
+/// which has no teams to build).  For the `streak` and `cold` records the
+/// samples *are* the per-task submit→team-start latencies — `secs.median_s`
+/// / `secs.p95_s` read directly as seconds of team-build latency — and the
+/// `reuse_hit_rate` extra reports how many publications rode a warm team
+/// (`team_reuses / (teams_built + team_reuses)`, EXPERIMENTS.md).  The
+/// `mix` record times a bursty heterogeneous requirement mix (fixed-`r`
+/// streaks, moldable ranges, sequential riders) end-to-end.
+fn sweep_team_build(opts: &Options) -> Vec<RunRecord> {
+    let streak_tasks = (opts.size / 2_048).clamp(32, 256);
+    // Every cold submission pays a keep-alive-expiry gap, which bounds how
+    // many are practical per run.
+    let cold_tasks = (opts.size / 8_192).clamp(8, 48);
+    let mix_bursts = (opts.size / 4_096).clamp(8, 64);
+    let mut records = Vec::new();
+    let reuse_extra = |metrics: &MetricsSnapshot| {
+        let publications = metrics.teams_built + metrics.team_reuses;
+        let hit_rate = if publications > 0 {
+            metrics.team_reuses as f64 / publications as f64
+        } else {
+            0.0
+        };
+        JsonValue::Object(vec![
+            ("reuse_hit_rate".into(), JsonValue::Number(hit_rate)),
+            (
+                "cold_gap_ms".into(),
+                JsonValue::Number(micro::TEAM_BUILD_COLD_GAP.as_secs_f64() * 1e3),
+            ),
+        ])
+    };
+    for &threads in &opts.threads {
+        if threads < 2 {
+            continue;
+        }
+        // Full-machine teams: with r = p the team level is unstealable, so
+        // streak reuse measures the pool, not steal races.
+        let r = threads;
+        let scheduler = Scheduler::with_threads(threads);
+        if opts.warmups > 0 {
+            micro::team_build_streak(&scheduler, r, 8);
+        }
+
+        let before = scheduler.metrics();
+        let streak = micro::team_build_streak(&scheduler, r, streak_tasks);
+        let streak_metrics = scheduler.metrics().delta_since(&before);
+        let mut stats = RunStats::new();
+        for latency in &streak.submit_to_start {
+            stats.record(*latency);
+        }
+        let secs = TimingSummary::from_stats(&stats);
+        let streak_median_us = secs.median_s * 1e6;
+        records.push(RunRecord {
+            group: "team_build".into(),
+            name: "team_build_streak".into(),
+            distribution: None,
+            size: streak_tasks,
+            threads,
+            warmups: opts.warmups,
+            repetitions: streak_tasks,
+            secs,
+            extra: Some(reuse_extra(&streak_metrics)),
+            metrics: streak_metrics,
+            seq_reference_s: None,
+            speedup_vs_seq: None,
+        });
+
+        let before = scheduler.metrics();
+        let cold = micro::team_build_cold(&scheduler, r, cold_tasks);
+        let cold_metrics = scheduler.metrics().delta_since(&before);
+        let mut stats = RunStats::new();
+        for latency in &cold.submit_to_start {
+            stats.record(*latency);
+        }
+        let secs = TimingSummary::from_stats(&stats);
+        eprintln!(
+            "team    | r = {r:>2} | p = {threads:>2} | streak median {streak_median_us:>8.1} us (hit {:>5.3}) | cold median {:>8.1} us",
+            streak_metrics.team_reuses as f64
+                / (streak_metrics.teams_built + streak_metrics.team_reuses).max(1) as f64,
+            secs.median_s * 1e6,
+        );
+        records.push(RunRecord {
+            group: "team_build".into(),
+            name: "team_build_cold".into(),
+            distribution: None,
+            size: cold_tasks,
+            threads,
+            warmups: opts.warmups,
+            repetitions: cold_tasks,
+            secs,
+            extra: Some(reuse_extra(&cold_metrics)),
+            metrics: cold_metrics,
+            seq_reference_s: None,
+            speedup_vs_seq: None,
+        });
+
+        let mut stats = RunStats::new();
+        let mut metrics = MetricsSnapshot::default();
+        for _ in 0..opts.reps {
+            let before = scheduler.metrics();
+            stats.record(micro::team_build_mix(&scheduler, mix_bursts));
+            metrics = metrics.merge(scheduler.metrics().delta_since(&before));
+        }
+        let secs = TimingSummary::from_stats(&stats);
+        eprintln!(
+            "teammix | {mix_bursts:>4} bursts | p = {threads:>2} | median {:>10.6}s | built {} reused {} shrunk {}",
+            secs.median_s, metrics.teams_built, metrics.team_reuses, metrics.team_shrinks
+        );
+        records.push(RunRecord {
+            group: "team_build".into(),
+            name: "team_build_mix".into(),
+            distribution: None,
+            size: mix_bursts,
+            threads,
+            warmups: 0,
+            repetitions: opts.reps,
+            secs,
+            extra: Some(reuse_extra(&metrics)),
+            metrics,
+            seq_reference_s: None,
+            speedup_vs_seq: None,
+        });
+    }
+    records
+}
+
 /// Re-measures the checked variant (MMPar) at the baseline's recorded
 /// (distribution, size, threads) cells, so `--smoke --check` compares
 /// like-for-like medians instead of smoke-sized ones.  Repetitions and
@@ -1010,6 +1143,7 @@ fn run() -> Result<i32, String> {
                                 || (r.group == "soak" && !opts.sweeps.soak)
                                 || (r.group == "wakeup_latency" && !opts.sweeps.wakeup_latency)
                                 || (r.group == "idle_burn" && !opts.sweeps.idle_burn)
+                                || (r.group == "team_build" && !opts.sweeps.team_build)
                         })
                         .collect()
                 })
@@ -1051,6 +1185,9 @@ fn run() -> Result<i32, String> {
         );
         family(opts.sweeps.idle_burn, "idle_burn", &mut records, &mut || {
             sweep_idle_burn(&opts)
+        });
+        family(opts.sweeps.team_build, "team_build", &mut records, &mut || {
+            sweep_team_build(&opts)
         });
         let kernel_report = new_report(&opts, "kernel", records);
         write_report(&kernels_path, &kernel_report)?;

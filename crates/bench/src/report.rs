@@ -511,10 +511,12 @@ impl TimingSummary {
 /// subsystem (PR 4); `parks`, `wakeups` and `spurious_wakes` (plus the
 /// non-scalar `wake_latency_us` bucket array) with the event-driven parking
 /// subsystem (PR 5); `injector_local_pops`, `injector_remote_pops` and
-/// `external_pin_waits` with the sharded injector (PR 6).  The parser
+/// `external_pin_waits` with the sharded injector (PR 6); `teams_built`,
+/// `team_reuses`, `team_shrinks`, `steals_local` and `steals_remote` with
+/// moldable teams and the topology-biased fallback scan (PR 8).  The parser
 /// defaults absent counters to zero so reports written by earlier harnesses
 /// stay readable.
-const METRIC_FIELDS: [&str; 22] = [
+const METRIC_FIELDS: [&str; 27] = [
     "tasks_executed",
     "team_tasks_executed",
     "teams_formed",
@@ -537,6 +539,11 @@ const METRIC_FIELDS: [&str; 22] = [
     "parks",
     "wakeups",
     "spurious_wakes",
+    "teams_built",
+    "team_reuses",
+    "team_shrinks",
+    "steals_local",
+    "steals_remote",
 ];
 
 /// Key of the wake-latency histogram inside the metrics object: one count
@@ -568,6 +575,11 @@ fn metrics_to_json(m: &MetricsSnapshot) -> JsonValue {
         m.parks,
         m.wakeups,
         m.spurious_wakes,
+        m.teams_built,
+        m.team_reuses,
+        m.team_shrinks,
+        m.steals_local,
+        m.steals_remote,
     ];
     let mut pairs: Vec<(String, JsonValue)> = METRIC_FIELDS
         .iter()
@@ -635,6 +647,11 @@ fn metrics_from_json(value: &JsonValue) -> Result<MetricsSnapshot, String> {
         parks: optional_field("parks"),
         wakeups: optional_field("wakeups"),
         spurious_wakes: optional_field("spurious_wakes"),
+        teams_built: optional_field("teams_built"),
+        team_reuses: optional_field("team_reuses"),
+        team_shrinks: optional_field("team_shrinks"),
+        steals_local: optional_field("steals_local"),
+        steals_remote: optional_field("steals_remote"),
         wake_latency,
     })
 }
@@ -1041,6 +1058,11 @@ mod tests {
                 parks: 12,
                 wakeups: 11,
                 spurious_wakes: 1,
+                teams_built: 3,
+                team_reuses: 7,
+                team_shrinks: 2,
+                steals_local: 13,
+                steals_remote: 4,
                 wake_latency: WakeLatencyHistogram {
                     buckets: [2, 5, 3, 1, 0, 0, 0, 0],
                 },
@@ -1247,6 +1269,57 @@ mod tests {
             // The pre-existing counters survived the strip.
             assert_eq!(record.metrics.steals, 17);
             assert_eq!(record.metrics.parks, 12);
+        }
+        // And a defaulted report round-trips stably.
+        assert_eq!(
+            Report::from_json_str(&parsed.to_json_string()).unwrap(),
+            parsed
+        );
+    }
+
+    #[test]
+    fn pre_moldable_baselines_parse_with_defaulted_metrics() {
+        // A record written before PR 8 carries none of the moldable-team or
+        // steal-locality counters: strip them from a fresh record and the
+        // parser must default all of them to zero (so PR 7-era committed
+        // baselines keep working as `--check` inputs).
+        let report = sample_report(0.010);
+        let text = report.to_json_string();
+        let mut value = JsonValue::parse(&text).unwrap();
+        if let JsonValue::Object(pairs) = &mut value {
+            if let Some((_, JsonValue::Array(records))) =
+                pairs.iter_mut().find(|(k, _)| k == "records")
+            {
+                for record in records {
+                    if let JsonValue::Object(fields) = record {
+                        if let Some((_, JsonValue::Object(metrics))) =
+                            fields.iter_mut().find(|(k, _)| k == "metrics")
+                        {
+                            metrics.retain(|(k, _)| {
+                                !matches!(
+                                    k.as_str(),
+                                    "teams_built"
+                                        | "team_reuses"
+                                        | "team_shrinks"
+                                        | "steals_local"
+                                        | "steals_remote"
+                                )
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        let parsed = Report::from_json_str(&value.render()).expect("old schema parses");
+        for record in &parsed.records {
+            assert_eq!(record.metrics.teams_built, 0);
+            assert_eq!(record.metrics.team_reuses, 0);
+            assert_eq!(record.metrics.team_shrinks, 0);
+            assert_eq!(record.metrics.steals_local, 0);
+            assert_eq!(record.metrics.steals_remote, 0);
+            // The pre-existing counters survived the strip.
+            assert_eq!(record.metrics.steals, 17);
+            assert_eq!(record.metrics.teams_formed, 3);
         }
         // And a defaulted report round-trips stably.
         assert_eq!(

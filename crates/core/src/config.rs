@@ -77,6 +77,25 @@ pub struct SchedulerConfig {
     /// pre-sharding behaviour).  A width ≥ `p` forces a single shard; a
     /// width of 1 gives one shard per worker.
     pub domain_width: usize,
+    /// How long a coordinator keeps a completed team *warm* — parked as a
+    /// unit, registration word intact — while it looks for a compatible next
+    /// task (DESIGN.md §15).  During the window a consecutive task with
+    /// `r ≤` team size skips partner visits and registration entirely (one
+    /// publication write).  `Duration::ZERO` disables warm reuse: every
+    /// completed team disbands at once, the pre-moldable behaviour.  The
+    /// window is an upper bound on how long up to `r − 1` workers can sit
+    /// parked instead of thieving, so it should stay well under the
+    /// coordinator resync backstop.
+    pub warm_keepalive: Duration,
+    /// Injector-depth threshold for **elastic shrink** (DESIGN.md §15): when
+    /// a team finishes a task and the pending external backlog is at least
+    /// this many tasks (or more than one task queues up while every worker
+    /// outside the team is asleep), the coordinator disbands at that barrier
+    /// instead of keeping or reusing the team, releasing members back to the
+    /// steal loop.  A backlog of exactly one never triggers a shrink — a
+    /// single consecutive task is what the warm pool exists to serve.
+    /// `usize::MAX` disables elastic shrink.
+    pub elastic_backlog_threshold: usize,
 }
 
 impl Default for SchedulerConfig {
@@ -92,6 +111,8 @@ impl Default for SchedulerConfig {
             park_spin_rounds: 16,
             park_backstop: Duration::from_millis(100),
             domain_width: 8,
+            warm_keepalive: Duration::from_micros(200),
+            elastic_backlog_threshold: 64,
         }
     }
 }
@@ -138,6 +159,11 @@ mod tests {
         let c = SchedulerConfig::default();
         assert!(c.num_threads >= 1);
         assert_eq!(c.steal_policy, StealPolicy::Deterministic);
+        // Warm reuse is on by default but bounded far below the coordinator
+        // resync backstop, and elastic shrink has a sane surge threshold.
+        assert!(c.warm_keepalive > Duration::ZERO);
+        assert!(c.warm_keepalive < Duration::from_millis(100));
+        assert!(c.elastic_backlog_threshold > 0);
     }
 
     #[test]

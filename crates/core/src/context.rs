@@ -12,8 +12,16 @@ pub(crate) trait SpawnTarget {
     /// Allocates a task node for `job` (from the worker's arena when one is
     /// available) and pushes it onto the executing worker's local queue
     /// (bottom), choosing the queue level from the requirement.  Increments
-    /// the scope's pending counter.
-    fn spawn_job_slot(&self, job: JobSlot, requirement: usize, scope: &Arc<ScopeState>);
+    /// the scope's pending counter.  `requirement_min < requirement` marks a
+    /// **moldable** task (DESIGN.md §15): the worker picks the effective
+    /// team size in `requirement_min ..= requirement` from current load.
+    fn spawn_job_slot(
+        &self,
+        job: JobSlot,
+        requirement: usize,
+        requirement_min: usize,
+        scope: &Arc<ScopeState>,
+    );
     /// Global id of the executing worker thread.
     fn worker_id(&self) -> usize;
     /// Total number of worker threads in the scheduler.
@@ -131,6 +139,28 @@ impl<'a> TaskContext<'a> {
         self.spawn_concrete(TeamJob::new(threads, f));
     }
 
+    /// Spawns a **moldable** data-parallel child task (DESIGN.md §15): any
+    /// team size in `threads` (an inclusive range) can run the closure, and
+    /// the scheduler picks the effective size from current load — small when
+    /// the machine is saturated (no point building a team it cannot fill),
+    /// large when workers sit idle.  The closure must therefore adapt to
+    /// [`team_size`](TaskContext::team_size) like any other team job.
+    ///
+    /// `spawn_team_moldable(r..=r, f)` is equivalent to `spawn_team(r, f)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty, starts at zero, or ends beyond the
+    /// number of scheduler threads.
+    pub fn spawn_team_moldable<F>(&self, threads: std::ops::RangeInclusive<usize>, f: F)
+    where
+        F: Fn(&TaskContext<'_>) + Send + Sync + 'static,
+    {
+        let (min, max) = (*threads.start(), *threads.end());
+        assert!(min <= max, "moldable range {min}..={max} is empty");
+        self.spawn_concrete(TeamJob::moldable(min, max, f));
+    }
+
     /// Spawns an arbitrary [`Job`] implementation.
     ///
     /// # Panics
@@ -139,22 +169,28 @@ impl<'a> TaskContext<'a> {
     /// scheduler threads.
     pub fn spawn_job(&self, job: Box<dyn Job>) {
         let requirement = job.requirement();
-        self.check_requirement(requirement);
+        let requirement_min = job.requirement_min();
+        self.check_requirement(requirement, requirement_min);
         self.worker
-            .spawn_job_slot(JobSlot::Boxed(job), requirement, self.scope);
+            .spawn_job_slot(JobSlot::Boxed(job), requirement, requirement_min, self.scope);
     }
 
     /// Spawns a concretely typed job, storing it inline in the task node
     /// when it fits (the common case for `spawn` / `spawn_team` closures).
     fn spawn_concrete<J: Job + 'static>(&self, job: J) {
         let requirement = job.requirement();
-        self.check_requirement(requirement);
+        let requirement_min = job.requirement_min();
+        self.check_requirement(requirement, requirement_min);
         self.worker
-            .spawn_job_slot(JobSlot::new(job), requirement, self.scope);
+            .spawn_job_slot(JobSlot::new(job), requirement, requirement_min, self.scope);
     }
 
-    fn check_requirement(&self, requirement: usize) {
-        assert!(requirement >= 1, "a task requires at least one thread");
+    fn check_requirement(&self, requirement: usize, requirement_min: usize) {
+        assert!(requirement_min >= 1, "a task requires at least one thread");
+        assert!(
+            requirement_min <= requirement,
+            "minimum requirement {requirement_min} exceeds the requirement {requirement}"
+        );
         assert!(
             requirement <= self.worker.num_threads(),
             "task requires {requirement} threads but the scheduler only has {}",
@@ -169,14 +205,20 @@ mod tests {
     use std::cell::RefCell;
 
     struct RecordingTarget {
-        spawned: RefCell<Vec<usize>>,
+        spawned: RefCell<Vec<(usize, usize)>>,
         threads: usize,
     }
 
     impl SpawnTarget for RecordingTarget {
-        fn spawn_job_slot(&self, job: JobSlot, requirement: usize, scope: &Arc<ScopeState>) {
+        fn spawn_job_slot(
+            &self,
+            job: JobSlot,
+            requirement: usize,
+            requirement_min: usize,
+            scope: &Arc<ScopeState>,
+        ) {
             drop(job);
-            self.spawned.borrow_mut().push(requirement);
+            self.spawned.borrow_mut().push((requirement, requirement_min));
             // The test target executes nothing: account the task as
             // spawned-and-finished immediately.
             scope.task_spawned();
@@ -230,7 +272,8 @@ mod tests {
         let ctx = test_ctx(&target, &scope);
         ctx.spawn(|_| {});
         ctx.spawn_team(4, |_| {});
-        assert_eq!(*target.spawned.borrow(), vec![1, 4]);
+        ctx.spawn_team_moldable(2..=6, |_| {});
+        assert_eq!(*target.spawned.borrow(), vec![(1, 1), (4, 4), (6, 2)]);
         assert_eq!(scope.pending(), 0, "test target finishes tasks immediately");
     }
 
@@ -244,5 +287,30 @@ mod tests {
         let scope = ScopeState::new();
         let ctx = test_ctx(&target, &scope);
         ctx.spawn_team(8, |_| {});
+    }
+
+    #[test]
+    #[should_panic]
+    fn spawn_team_moldable_rejects_empty_range() {
+        let target = RecordingTarget {
+            spawned: RefCell::new(Vec::new()),
+            threads: 4,
+        };
+        let scope = ScopeState::new();
+        let ctx = test_ctx(&target, &scope);
+        #[allow(clippy::reversed_empty_ranges)]
+        ctx.spawn_team_moldable(3..=2, |_| {});
+    }
+
+    #[test]
+    #[should_panic]
+    fn spawn_team_moldable_rejects_oversized_ceiling() {
+        let target = RecordingTarget {
+            spawned: RefCell::new(Vec::new()),
+            threads: 4,
+        };
+        let scope = ScopeState::new();
+        let ctx = test_ctx(&target, &scope);
+        ctx.spawn_team_moldable(2..=8, |_| {});
     }
 }

@@ -36,6 +36,19 @@ pub struct WorkerCounters {
     pub team_tasks_executed: AtomicU64,
     /// Teams formed with this worker as coordinator.
     pub teams_formed: AtomicU64,
+    /// Team-task publications onto a *freshly built* team — the coordinator
+    /// paid the full §8 protocol (partner visits, registration, countdown)
+    /// for this task.  Together with [`team_reuses`](Self::team_reuses) this
+    /// gives the warm-reuse hit rate (DESIGN.md §15).
+    pub teams_built: AtomicU64,
+    /// Team-task publications onto a still-warm team from a previous task:
+    /// the whole build protocol was skipped — one `try_reuse` load plus the
+    /// publication seqlock write.
+    pub team_reuses: AtomicU64,
+    /// Elastic-shrink events: an executing team released its members back to
+    /// the steal loop at a barrier because injector depth / sleeper pressure
+    /// crossed the configured threshold (DESIGN.md §15).
+    pub team_shrinks: AtomicU64,
     /// Successful registrations of this worker at a foreign coordinator
     /// (each one is exactly one CAS — the paper's "single extra CAS").
     pub registrations: AtomicU64,
@@ -43,6 +56,13 @@ pub struct WorkerCounters {
     pub steals: AtomicU64,
     /// Tasks received through stealing.
     pub tasks_stolen: AtomicU64,
+    /// Successful steals whose victim shares the thief's hierarchy domain
+    /// (the `injector_local_pops` analogue for the steal path, DESIGN.md
+    /// §13/§15): `steals_remote / (steals_local + steals_remote)` is the
+    /// cross-domain steal share.
+    pub steals_local: AtomicU64,
+    /// Successful steals from a victim in a foreign hierarchy domain.
+    pub steals_remote: AtomicU64,
     /// Steal rounds that visited every partner without finding anything.
     pub failed_steal_rounds: AtomicU64,
     /// Steals performed while helping a smaller task during coordination
@@ -116,6 +136,24 @@ impl WorkerCounters {
         Self::bump(&self.teams_formed);
     }
 
+    /// Increments the cold-path team-publication counter.
+    #[inline]
+    pub fn inc_teams_built(&self) {
+        Self::bump(&self.teams_built);
+    }
+
+    /// Increments the warm-reuse team-publication counter.
+    #[inline]
+    pub fn inc_team_reuses(&self) {
+        Self::bump(&self.team_reuses);
+    }
+
+    /// Increments the elastic-shrink counter.
+    #[inline]
+    pub fn inc_team_shrinks(&self) {
+        Self::bump(&self.team_shrinks);
+    }
+
     /// Increments the registration counter.
     #[inline]
     pub fn inc_registrations(&self) {
@@ -126,6 +164,18 @@ impl WorkerCounters {
     #[inline]
     pub fn inc_steals(&self) {
         Self::bump(&self.steals);
+    }
+
+    /// Increments the same-domain steal classification counter.
+    #[inline]
+    pub fn inc_steals_local(&self) {
+        Self::bump(&self.steals_local);
+    }
+
+    /// Increments the cross-domain steal classification counter.
+    #[inline]
+    pub fn inc_steals_remote(&self) {
+        Self::bump(&self.steals_remote);
     }
 
     /// Increments the failed-steal-round counter.
@@ -236,9 +286,14 @@ impl WorkerCounters {
             tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
             team_tasks_executed: self.team_tasks_executed.load(Ordering::Relaxed),
             teams_formed: self.teams_formed.load(Ordering::Relaxed),
+            teams_built: self.teams_built.load(Ordering::Relaxed),
+            team_reuses: self.team_reuses.load(Ordering::Relaxed),
+            team_shrinks: self.team_shrinks.load(Ordering::Relaxed),
             registrations: self.registrations.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
             tasks_stolen: self.tasks_stolen.load(Ordering::Relaxed),
+            steals_local: self.steals_local.load(Ordering::Relaxed),
+            steals_remote: self.steals_remote.load(Ordering::Relaxed),
             failed_steal_rounds: self.failed_steal_rounds.load(Ordering::Relaxed),
             help_steals: self.help_steals.load(Ordering::Relaxed),
             tasks_spawned: self.tasks_spawned.load(Ordering::Relaxed),
@@ -332,12 +387,22 @@ pub struct MetricsSnapshot {
     pub team_tasks_executed: u64,
     /// Teams formed (counted at the coordinator).
     pub teams_formed: u64,
+    /// Team-task publications that paid the full build protocol.
+    pub teams_built: u64,
+    /// Team-task publications onto a still-warm team (build skipped).
+    pub team_reuses: u64,
+    /// Elastic-shrink events (members released at a barrier under pressure).
+    pub team_shrinks: u64,
     /// Successful team registrations.
     pub registrations: u64,
     /// Successful steal operations.
     pub steals: u64,
     /// Tasks received through stealing.
     pub tasks_stolen: u64,
+    /// Successful steals from a victim in the thief's own hierarchy domain.
+    pub steals_local: u64,
+    /// Successful steals from a victim in a foreign hierarchy domain.
+    pub steals_remote: u64,
     /// Unsuccessful full steal rounds.
     pub failed_steal_rounds: u64,
     /// Help-steals performed during coordination.
@@ -395,9 +460,14 @@ impl MetricsSnapshot {
             tasks_executed: self.tasks_executed + other.tasks_executed,
             team_tasks_executed: self.team_tasks_executed + other.team_tasks_executed,
             teams_formed: self.teams_formed + other.teams_formed,
+            teams_built: self.teams_built + other.teams_built,
+            team_reuses: self.team_reuses + other.team_reuses,
+            team_shrinks: self.team_shrinks + other.team_shrinks,
             registrations: self.registrations + other.registrations,
             steals: self.steals + other.steals,
             tasks_stolen: self.tasks_stolen + other.tasks_stolen,
+            steals_local: self.steals_local + other.steals_local,
+            steals_remote: self.steals_remote + other.steals_remote,
             failed_steal_rounds: self.failed_steal_rounds + other.failed_steal_rounds,
             help_steals: self.help_steals + other.help_steals,
             tasks_spawned: self.tasks_spawned + other.tasks_spawned,
@@ -443,9 +513,14 @@ impl MetricsSnapshot {
                 .team_tasks_executed
                 .saturating_sub(earlier.team_tasks_executed),
             teams_formed: self.teams_formed.saturating_sub(earlier.teams_formed),
+            teams_built: self.teams_built.saturating_sub(earlier.teams_built),
+            team_reuses: self.team_reuses.saturating_sub(earlier.team_reuses),
+            team_shrinks: self.team_shrinks.saturating_sub(earlier.team_shrinks),
             registrations: self.registrations.saturating_sub(earlier.registrations),
             steals: self.steals.saturating_sub(earlier.steals),
             tasks_stolen: self.tasks_stolen.saturating_sub(earlier.tasks_stolen),
+            steals_local: self.steals_local.saturating_sub(earlier.steals_local),
+            steals_remote: self.steals_remote.saturating_sub(earlier.steals_remote),
             failed_steal_rounds: self
                 .failed_steal_rounds
                 .saturating_sub(earlier.failed_steal_rounds),
@@ -518,8 +593,13 @@ mod tests {
         c.inc_tasks_executed();
         c.inc_team_tasks_executed();
         c.inc_teams_formed();
+        c.inc_teams_built();
+        c.inc_team_reuses();
+        c.inc_team_shrinks();
         c.inc_registrations();
         c.inc_steals();
+        c.inc_steals_local();
+        c.inc_steals_remote();
         c.inc_failed_steal_rounds();
         c.inc_help_steals();
         c.inc_tasks_spawned();
@@ -544,9 +624,14 @@ mod tests {
                 tasks_executed: 1,
                 team_tasks_executed: 1,
                 teams_formed: 1,
+                teams_built: 1,
+                team_reuses: 1,
+                team_shrinks: 1,
                 registrations: 1,
                 steals: 1,
                 tasks_stolen: 1,
+                steals_local: 1,
+                steals_remote: 1,
                 failed_steal_rounds: 1,
                 help_steals: 1,
                 tasks_spawned: 1,

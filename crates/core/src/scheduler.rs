@@ -171,6 +171,46 @@ impl SchedulerBuilder {
         self
     }
 
+    /// Sets how long a coordinator keeps a completed team warm for reuse by
+    /// a compatible next task (see [`SchedulerConfig::warm_keepalive`]).
+    /// `Duration::ZERO` disables warm reuse — every completed team disbands
+    /// immediately, the paper's behaviour.
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use teamsteal_core::Scheduler;
+    ///
+    /// let scheduler = Scheduler::builder()
+    ///     .threads(2)
+    ///     .warm_keepalive(Duration::from_micros(500))
+    ///     .build();
+    /// scheduler.run(|_| {});
+    /// ```
+    pub fn warm_keepalive(mut self, keepalive: std::time::Duration) -> Self {
+        self.config.warm_keepalive = keepalive;
+        self
+    }
+
+    /// Sets the injector-backlog threshold that triggers **elastic shrink**
+    /// (see [`SchedulerConfig::elastic_backlog_threshold`]): a team whose
+    /// task completes while at least this many external tasks are pending
+    /// disbands at that barrier instead of staying warm, releasing its
+    /// members back to the steal loop.  `usize::MAX` disables the mechanism.
+    ///
+    /// ```
+    /// use teamsteal_core::Scheduler;
+    ///
+    /// let scheduler = Scheduler::builder()
+    ///     .threads(2)
+    ///     .elastic_backlog_threshold(16)
+    ///     .build();
+    /// scheduler.run(|_| {});
+    /// ```
+    pub fn elastic_backlog_threshold(mut self, threshold: usize) -> Self {
+        self.config.elastic_backlog_threshold = threshold;
+        self
+    }
+
     /// Overrides the full configuration.
     ///
     /// ```
@@ -293,6 +333,27 @@ impl Scheduler {
         self.scope(|s| s.spawn_team(threads, f));
     }
 
+    /// Convenience wrapper: runs a single **moldable** team root task
+    /// (DESIGN.md §15) — any team size in the inclusive `threads` range can
+    /// execute it, and the scheduler picks the effective size from current
+    /// load — and waits for everything it (transitively) spawns.
+    ///
+    /// ```
+    /// use teamsteal_core::Scheduler;
+    ///
+    /// let scheduler = Scheduler::with_threads(4);
+    /// scheduler.run_team_moldable(2..=4, |ctx| {
+    ///     assert!((2..=4).contains(&ctx.requested_threads()));
+    ///     ctx.barrier();
+    /// });
+    /// ```
+    pub fn run_team_moldable<F>(&self, threads: std::ops::RangeInclusive<usize>, f: F)
+    where
+        F: Fn(&TaskContext<'_>) + Send + Sync + 'static,
+    {
+        self.scope(|s| s.spawn_team_moldable(threads, f));
+    }
+
     /// Per-worker metric snapshots, indexed by worker id.
     pub fn worker_metrics(&self) -> Vec<MetricsSnapshot> {
         self.shared
@@ -386,14 +447,21 @@ impl Scheduler {
             .collect()
     }
 
-    fn check_requirement(&self, requirement: usize) {
-        assert!(requirement >= 1, "a task requires at least one thread");
+    fn check_requirement(&self, requirement: usize, requirement_min: usize) {
+        assert!(requirement_min >= 1, "a task requires at least one thread");
+        assert!(
+            requirement_min <= requirement,
+            "minimum requirement {requirement_min} exceeds the requirement {requirement}"
+        );
         assert!(
             requirement <= self.num_threads(),
             "task requires {requirement} threads but the scheduler only has {}",
             self.num_threads()
         );
-        if requirement > 1 {
+        // A moldable task collapses to `requirement_min` under
+        // `UniformRandom` (there is no hierarchy to recruit a team from),
+        // so only a *minimum* above 1 is unrunnable there.
+        if requirement_min > 1 {
             assert!(
                 self.steal_policy != StealPolicy::UniformRandom,
                 "team tasks (r > 1) require a hierarchical steal policy; \
@@ -461,12 +529,35 @@ impl Scope<'_> {
         self.spawn_concrete(TeamJob::new(threads, f));
     }
 
+    /// Submits a **moldable** data-parallel root task (DESIGN.md §15): any
+    /// team size in the inclusive `threads` range can run the closure; the
+    /// scheduler picks the effective size from current load when the task is
+    /// pulled from the injection queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty, starts at zero, or ends beyond the
+    /// number of scheduler threads.
+    pub fn spawn_team_moldable<F>(&self, threads: std::ops::RangeInclusive<usize>, f: F)
+    where
+        F: Fn(&TaskContext<'_>) + Send + Sync + 'static,
+    {
+        let (min, max) = (*threads.start(), *threads.end());
+        assert!(min <= max, "moldable range {min}..={max} is empty");
+        self.spawn_concrete(TeamJob::moldable(min, max, f));
+    }
+
     /// Submits an arbitrary [`Job`] implementation as a root task.
     pub fn spawn_job(&self, job: Box<dyn Job>) {
         let requirement = job.requirement();
-        self.scheduler.check_requirement(requirement);
-        let node =
-            TaskNode::allocate_boxed(JobSlot::Boxed(job), requirement, Arc::clone(&self.state));
+        let requirement_min = job.requirement_min();
+        self.scheduler.check_requirement(requirement, requirement_min);
+        let node = TaskNode::allocate_boxed(
+            JobSlot::Boxed(job),
+            requirement,
+            requirement_min,
+            Arc::clone(&self.state),
+        );
         self.scheduler.shared.inject(node);
     }
 
@@ -474,9 +565,14 @@ impl Scope<'_> {
     /// in the (boxed) node, so external submission costs one allocation.
     fn spawn_concrete<J: Job + 'static>(&self, job: J) {
         let requirement = job.requirement();
-        self.scheduler.check_requirement(requirement);
-        let node =
-            TaskNode::allocate_boxed(JobSlot::new(job), requirement, Arc::clone(&self.state));
+        let requirement_min = job.requirement_min();
+        self.scheduler.check_requirement(requirement, requirement_min);
+        let node = TaskNode::allocate_boxed(
+            JobSlot::new(job),
+            requirement,
+            requirement_min,
+            Arc::clone(&self.state),
+        );
         self.scheduler.shared.inject(node);
     }
 

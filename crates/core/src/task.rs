@@ -47,6 +47,15 @@ pub trait Job: Send + Sync {
         1
     }
 
+    /// Smallest team this job can run on (**moldable** jobs, DESIGN.md §15).
+    /// The scheduler picks an effective team size in
+    /// `requirement_min() ..= requirement()` from current load; the default
+    /// (`== requirement()`) keeps the job rigid, the paper's model.  Must be
+    /// at least 1 and at most [`requirement`](Job::requirement).
+    fn requirement_min(&self) -> usize {
+        self.requirement()
+    }
+
     /// Executes the job.  For team jobs this is called once per team member,
     /// concurrently.
     fn run(&self, ctx: &TaskContext<'_>);
@@ -91,18 +100,36 @@ impl<F: FnOnce(&TaskContext<'_>) + Send> Job for OnceJob<F> {
 /// team member.
 pub(crate) struct TeamJob<F: Fn(&TaskContext<'_>) + Send + Sync> {
     requirement: usize,
+    requirement_min: usize,
     f: F,
 }
 
 impl<F: Fn(&TaskContext<'_>) + Send + Sync> TeamJob<F> {
     pub(crate) fn new(requirement: usize, f: F) -> Self {
-        TeamJob { requirement, f }
+        TeamJob {
+            requirement,
+            requirement_min: requirement,
+            f,
+        }
+    }
+
+    /// A moldable team job: any team size in `min ..= max` can run it.
+    pub(crate) fn moldable(min: usize, max: usize, f: F) -> Self {
+        TeamJob {
+            requirement: max,
+            requirement_min: min,
+            f,
+        }
     }
 }
 
 impl<F: Fn(&TaskContext<'_>) + Send + Sync> Job for TeamJob<F> {
     fn requirement(&self) -> usize {
         self.requirement
+    }
+
+    fn requirement_min(&self) -> usize {
+        self.requirement_min
     }
 
     fn run(&self, ctx: &TaskContext<'_>) {
@@ -308,8 +335,15 @@ pub struct TaskNode {
     home: *const Slab<TaskNode>,
     /// The user job.
     pub(crate) job: JobSlot,
-    /// Thread requirement `r` as requested at spawn time.
+    /// Thread requirement `r` the scheduler honours for this task.  For
+    /// moldable tasks this starts at the spawn-time ceiling (`r_max`) and is
+    /// rewritten — only ever by the worker that currently *owns* the node,
+    /// before (re-)pushing it — to the effective size chosen from current
+    /// load (DESIGN.md §15).  The deque/injector handoff publishes the write.
     pub(crate) requirement: usize,
+    /// Smallest team this task accepts (`requirement_min == requirement` for
+    /// rigid tasks).  Immutable after allocation.
+    pub(crate) requirement_min: usize,
     /// Scope this task belongs to (for completion counting).
     pub(crate) scope: Arc<ScopeState>,
     /// Team descriptor, written by the coordinator *before* the task is
@@ -346,14 +380,17 @@ impl TaskNode {
     pub(crate) fn new_in(
         job: JobSlot,
         requirement: usize,
+        requirement_min: usize,
         scope: Arc<ScopeState>,
         home: *const Slab<TaskNode>,
     ) -> Self {
+        debug_assert!(1 <= requirement_min && requirement_min <= requirement);
         TaskNode {
             free_next: AtomicPtr::new(std::ptr::null_mut()),
             home,
             job,
             requirement,
+            requirement_min,
             scope,
             team_base: UnsafeCell::new(0),
             team_size: UnsafeCell::new(1),
@@ -369,12 +406,14 @@ impl TaskNode {
     pub(crate) fn allocate_boxed(
         job: JobSlot,
         requirement: usize,
+        requirement_min: usize,
         scope: Arc<ScopeState>,
     ) -> *mut TaskNode {
         scope.task_spawned();
         Box::into_raw(Box::new(TaskNode::new_in(
             job,
             requirement,
+            requirement_min,
             scope,
             std::ptr::null(),
         )))
@@ -460,18 +499,30 @@ mod tests {
         let ptr = TaskNode::allocate_boxed(
             JobSlot::new(TeamJob::new(4, |_ctx: &TaskContext<'_>| {})),
             4,
+            2,
             Arc::clone(&scope),
         );
         assert_eq!(scope.pending(), 1);
         // SAFETY: we just allocated it and nothing else references it.
         let node = unsafe { &*ptr };
         assert_eq!(node.requirement, 4);
+        assert_eq!(node.requirement_min, 2);
         assert_eq!(node.participants.load(Ordering::Relaxed), 1);
         let node_scope = Arc::clone(&node.scope);
         // SAFETY: sole holder.
         unsafe { TaskNode::release(ptr) };
         node_scope.task_finished();
         assert_eq!(scope.pending(), 0);
+    }
+
+    #[test]
+    fn moldable_team_job_reports_its_range() {
+        let j = TeamJob::moldable(2, 6, |_ctx: &TaskContext<'_>| {});
+        assert_eq!(j.requirement(), 6);
+        assert_eq!(j.requirement_min(), 2);
+        // Rigid jobs default the floor to the ceiling.
+        let r = TeamJob::new(4, |_ctx: &TaskContext<'_>| {});
+        assert_eq!(r.requirement_min(), 4);
     }
 
     #[test]

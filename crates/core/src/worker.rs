@@ -16,7 +16,7 @@ use std::time::Duration;
 use std::cell::UnsafeCell;
 
 use teamsteal_deque::{RawDeque, ShardedInjector, Steal};
-use teamsteal_registration::{AcquireOutcome, AtomicRegistration, ReleaseOutcome};
+use teamsteal_registration::{AcquireOutcome, AtomicRegistration, ReleaseOutcome, ReuseOutcome};
 use teamsteal_topology::{Domains, StealPolicy, Topology};
 use teamsteal_util::epoch::{Domain, Participant};
 use teamsteal_util::eventcount::WakeReason;
@@ -314,6 +314,11 @@ pub(crate) struct SchedulerShared {
     pub(crate) park_spin_rounds: u32,
     /// Defensive cap on one park (see `SchedulerConfig::park_backstop`).
     pub(crate) park_backstop: Duration,
+    /// Warm team keep-alive window (see `SchedulerConfig::warm_keepalive`).
+    pub(crate) warm_keepalive: Duration,
+    /// Elastic-shrink backlog threshold
+    /// (see `SchedulerConfig::elastic_backlog_threshold`).
+    pub(crate) elastic_backlog_threshold: usize,
     pub(crate) seed: u64,
     /// The parking/wakeup subsystem: every blocking site parks here and
     /// every state change that can unblock a worker notifies it
@@ -351,6 +356,8 @@ impl SchedulerShared {
             steal_amount: config.steal_amount,
             park_spin_rounds: config.park_spin_rounds,
             park_backstop: config.park_backstop,
+            warm_keepalive: config.warm_keepalive,
+            elastic_backlog_threshold: config.elastic_backlog_threshold,
             seed: config.seed,
             sleep: SleepController::new(p),
             // SAFETY: all injector access goes through pinned participants —
@@ -396,8 +403,21 @@ impl SchedulerShared {
         for (i, w) in self.workers.iter().enumerate() {
             let reg = w.reg.load();
             let qlens: Vec<usize> = w.queues.iter().map(|q| q.len()).collect();
+            // A formed team whose coordinator has no queued work is a *warm*
+            // pool (DESIGN.md §15): its members are parked on purpose, not
+            // lost, so the stall reporter must attribute them to the pool
+            // rather than making them look like missed wakeups.
+            let warm = if reg.has_team()
+                && reg.acquired == reg.teamed
+                && reg.required == reg.teamed
+                && qlens.iter().all(|&l| l == 0)
+            {
+                " warm"
+            } else {
+                ""
+            };
             line.push_str(&format!(
-                " | w{i}: coord={} r={} a={} t={} n={} G={} q={qlens:?}",
+                " | w{i}: coord={} r={} a={} t={} n={} G={} q={qlens:?}{warm}",
                 w.coordinator.load(Ordering::Relaxed),
                 reg.required,
                 reg.acquired,
@@ -705,9 +725,18 @@ impl Worker {
                 self.work_on_level(level);
                 continue;
             }
-            // All local queues are empty.  Dissolve any team we coordinate
-            // (Lemma 1: "the team will dissolve ... as soon as the current
-            // coordinator's queue runs empty") and go stealing.
+            // All local queues are empty.  If we coordinate a *formed* team,
+            // keep it warm for a bounded window first (DESIGN.md §15): a
+            // compatible task arriving within the window reuses the team
+            // with a single publication write instead of re-running the
+            // whole registration protocol.
+            if self.warm_hold() {
+                idle.reset();
+                continue;
+            }
+            // Dissolve any team we coordinate (Lemma 1: "the team will
+            // dissolve ... as soon as the current coordinator's queue runs
+            // empty") and go stealing.
             self.release_team_if_any();
             self.enter_search();
             if self.pop_injected() || self.steal_round() {
@@ -723,6 +752,10 @@ impl Worker {
             self.collect_epoch();
             self.idle_park(&mut idle);
         }
+        // Shutdown: a warm team parked on our registration word must be
+        // disbanded *now* — its members re-check `shutdown` on the wake this
+        // triggers, instead of draining out one park backstop at a time.
+        self.release_team_if_any();
         self.quit_search();
         self.participant.unpin();
     }
@@ -982,8 +1015,36 @@ impl Worker {
                 if ready {
                     match self.me().pop_task(level) {
                         Some(ptr) => {
+                            if team_formed {
+                                // Publication onto an already-formed team:
+                                // the moldable fast path (one seqlock write,
+                                // no registration traffic).  `try_reuse` is
+                                // a single Acquire load validating the team
+                                // is still whole (DESIGN.md §15).
+                                if matches!(
+                                    self.me().reg.try_reuse(team_size as u16),
+                                    ReuseOutcome::Reused(_)
+                                ) {
+                                    self.me().counters.inc_team_reuses();
+                                }
+                            } else {
+                                // Cold path: this publication paid for a
+                                // full team build.
+                                self.me().counters.inc_teams_built();
+                            }
                             self.execute_team_task_as_coordinator(ptr, group.start, team_size);
                             backoff.reset();
+                            // Elastic shrink (DESIGN.md §15): the countdown
+                            // just drained, so this is a safe resize point.
+                            // Under backlog pressure, release the members to
+                            // the steal loop instead of running (or warm-
+                            // holding) the next task with the full team.
+                            if self.elastic_shrink_due(team_size) {
+                                self.me().reg.disband();
+                                self.me().counters.inc_team_shrinks();
+                                self.notify_team_range(me, team_size);
+                                return;
+                            }
                         }
                         None => return,
                     }
@@ -1158,6 +1219,122 @@ impl Worker {
             // this registration word.
             self.notify_team_range(self.id, reg.teamed.max(reg.required) as usize);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Moldable teams: warm reuse pool and elastic shrink (DESIGN.md §15)
+    // ------------------------------------------------------------------
+
+    /// Bounded warm-hold window run when the local queues are empty but this
+    /// worker still coordinates a **formed** team.  Instead of disbanding at
+    /// once, the coordinator keeps the team parked as a unit for up to
+    /// `warm_keepalive` while it looks for a next task itself — popping the
+    /// injector and running a *restricted* steal round (no registration with
+    /// foreign coordinators, which would orphan the held members).  Returns
+    /// `true` when a task landed in the local queues: the main loop then
+    /// re-enters `coordinate_level`, where a compatible requirement reuses
+    /// the team with one publication write.  Returns `false` when the window
+    /// expired or reuse is not possible; the caller disbands as before.
+    fn warm_hold(&mut self) -> bool {
+        let keepalive = self.shared.warm_keepalive;
+        if keepalive.is_zero() {
+            return false;
+        }
+        // One Acquire load decides whether the team is reusable at all
+        // (formed, complete and not mid-grow): the same predicate a reuse
+        // publication validates.
+        if !matches!(self.me().reg.try_reuse(1), ReuseOutcome::Reused(_)) {
+            return false;
+        }
+        // Elastic pressure: a deep external backlog (or a machine that is
+        // otherwise asleep while backlog exists) wants the members thieving,
+        // not pooled.  Refuse the hold; the caller's disband releases them.
+        let team_size = self.me().reg.load().teamed as usize;
+        if self.elastic_shrink_due(team_size) {
+            return false;
+        }
+        let mut warm = Backoff::new();
+        loop {
+            // The expiry check comes *before* the work probe: once the
+            // window has lapsed the pool must dissolve even if a task just
+            // arrived — the late task then pays the cold path instead of
+            // reviving a team whose members have been parked too long.
+            if self.shared.shutdown.load(Ordering::Acquire)
+                || warm.unproductive_for() >= keepalive
+            {
+                return false;
+            }
+            if self.pop_injected() || self.warm_steal_round() {
+                return true;
+            }
+            self.unpinned_spin(&mut warm);
+        }
+    }
+
+    /// The warm-hold variant of [`steal_round`](Self::steal_round): visits
+    /// the same partners but only *steals* — never registers with a foreign
+    /// coordinator, because this worker still holds a formed team whose
+    /// members may not leave it (registering elsewhere would strand them).
+    fn warm_steal_round(&mut self) -> bool {
+        let levels = self.topo().num_steal_levels();
+        for level in 0..levels {
+            let Some(x) = self.partner_at(level) else {
+                continue;
+            };
+            if self.transfer_steal(x, level, level) > 0 {
+                self.me().counters.inc_steals();
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Elastic-shrink predicate (DESIGN.md §15): `true` when a team holding
+    /// `team_size` workers should release them to the steal loop because the
+    /// external backlog is deep (at least `elastic_backlog_threshold`
+    /// pending injected tasks) or because *several* tasks queue up while
+    /// every worker outside the team is asleep.  A backlog of exactly one
+    /// never triggers it — one pending task is the consecutive-task case the
+    /// warm pool exists for, and the coordinator feeds it to the reused team
+    /// faster than a disband-rebuild cycle could.  Reads two counters; no
+    /// synchronization beyond their Relaxed loads — the decision is a
+    /// heuristic, the disband it triggers uses the ordinary §10 machinery.
+    fn elastic_shrink_due(&self, team_size: usize) -> bool {
+        let threshold = self.shared.elastic_backlog_threshold;
+        if threshold == usize::MAX {
+            return false;
+        }
+        let backlog = self.shared.injector.len();
+        if backlog <= 1 {
+            return false;
+        }
+        backlog >= threshold
+            || self.shared.sleep.sleepers() as usize + team_size >= self.shared.num_threads()
+    }
+
+    /// Picks the effective team size for a **moldable** task (requirement
+    /// range `r_min ..= r_max`, DESIGN.md §15) from current load: one idle
+    /// worker per extra member (the sleep controller's packed sleeper and
+    /// searcher counts, plus the spawner itself), clamped into the range.
+    /// Under elastic backlog pressure the choice collapses to `r_min` —
+    /// building a wide team while external tasks queue up starves them.
+    /// Under `UniformRandom` (the no-team baseline) it also collapses to
+    /// `r_min`, which keeps `1..=k` moldable spawns runnable there.
+    fn effective_requirement(&self, r_max: usize, r_min: usize) -> usize {
+        debug_assert!(1 <= r_min && r_min <= r_max);
+        if r_min == r_max {
+            return r_max;
+        }
+        if self.shared.steal_policy == StealPolicy::UniformRandom {
+            return r_min;
+        }
+        let backlog = self.shared.injector.len();
+        if backlog >= self.shared.elastic_backlog_threshold {
+            return r_min;
+        }
+        let sleep = &self.shared.sleep;
+        let idle = (sleep.sleepers() + sleep.searchers()) as usize;
+        (idle + 1).clamp(r_min, r_max)
     }
 
     /// Wakes every worker that could act on a change of `coordinator`'s
@@ -1564,6 +1741,48 @@ impl Worker {
                 return true;
             }
         }
+        // Every partner came up empty: fall back to a full victim scan in
+        // hierarchy-distance order (DESIGN.md §13's `sweep_order`, same bias
+        // as the sharded-injector pops) — own-domain victims first, so the
+        // load balancing of last resort still prefers cache- and
+        // NUMA-adjacent queues over far ones.
+        self.fallback_scan()
+    }
+
+    /// Topology-biased fallback victim scan: visits every other worker in
+    /// `Domains::sweep_order` order (nearest domain first, rotating start
+    /// within each domain so concurrent thieves fan out) and steals from the
+    /// first victim with eligible work.  Refinement 1 still applies: only
+    /// queues below the level at which the victim's group would include this
+    /// worker are eligible.
+    fn fallback_scan(&mut self) -> bool {
+        let num_domains = self.shared.domains.num_domains();
+        for pos in 0..num_domains {
+            let dom = self.shared.domains.sweep_order(self.domain)[pos];
+            let range = self.shared.domains.domain_range(dom);
+            let len = range.len();
+            let start = if len > 1 { self.rng.next_usize_below(len) } else { 0 };
+            for i in 0..len {
+                let victim = range.start + (start + i) % len;
+                if victim == self.id {
+                    continue;
+                }
+                // Highest queue level whose tasks cannot require both of us:
+                // the victim's groups are nested and growing, so it is the
+                // last level before the victim's group swallows this worker.
+                let mut safe_top = 0;
+                for l in 0..self.topo().num_queue_levels() {
+                    if self.topo().group_range(victim, l).contains(&self.id) {
+                        break;
+                    }
+                    safe_top = l;
+                }
+                if self.transfer_steal(victim, safe_top, safe_top) > 0 {
+                    self.me().counters.inc_steals();
+                    return true;
+                }
+            }
+        }
         false
     }
 
@@ -1637,6 +1856,14 @@ impl Worker {
             }
             if moved > 0 {
                 self.me().counters.add_tasks_stolen(moved as u64);
+                // Locality classification (same split the injector pops
+                // report): did this steal stay inside the thief's own
+                // hierarchy domain or cross to a remote one?
+                if self.shared.domains.domain_of(victim) == self.domain {
+                    self.me().counters.inc_steals_local();
+                } else {
+                    self.me().counters.inc_steals_remote();
+                }
                 if moved > 1 {
                     // Bulk steal: surplus tasks now sit in our queue — wake
                     // chain so another sleeper can share the load instead
@@ -1674,7 +1901,19 @@ impl Worker {
                     self.me().counters.inc_injector_remote_pops();
                 }
                 // SAFETY: the node is alive while it sits in the injector.
-                let req = unsafe { (*ptr).requirement };
+                let req_max = unsafe { (*ptr).requirement };
+                let req_min = unsafe { (*ptr).requirement_min };
+                // Moldable choice (DESIGN.md §15): externally injected tasks
+                // carry their ceiling; the popping worker picks the
+                // effective size from current load.  The rewrite is safe —
+                // we popped the node, so until the `push_task` below makes
+                // it visible again we are its exclusive owner, and the
+                // deque's release/acquire handoff publishes the new value
+                // to any later thief.
+                let req = self.effective_requirement(req_max, req_min);
+                if req != req_max {
+                    unsafe { (*ptr).requirement = req };
+                }
                 let level = self.topo().level_for_requirement(self.id, req);
                 self.me().push_task(level, ptr);
                 self.me().counters.inc_tasks_injected();
@@ -1704,8 +1943,18 @@ impl Worker {
 }
 
 impl SpawnTarget for Worker {
-    fn spawn_job_slot(&self, job: JobSlot, requirement: usize, scope: &Arc<ScopeState>) {
+    fn spawn_job_slot(
+        &self,
+        job: JobSlot,
+        requirement: usize,
+        requirement_min: usize,
+        scope: &Arc<ScopeState>,
+    ) {
         scope.task_spawned();
+        // Moldable choice (DESIGN.md §15): pick the effective team size for
+        // this spawn from current load.  Fixed-requirement spawns
+        // (`requirement_min == requirement`) pass through unchanged.
+        let requirement = self.effective_requirement(requirement, requirement_min);
         let me = self.me();
         // SAFETY: a worker is the sole allocator of its own arena, and
         // `spawn_job_slot` only runs on the worker's own thread (tasks spawn
@@ -1718,6 +1967,7 @@ impl SpawnTarget for Worker {
             ptr.write(TaskNode::new_in(
                 job,
                 requirement,
+                requirement_min,
                 Arc::clone(scope),
                 &me.node_pool as *const _,
             ));

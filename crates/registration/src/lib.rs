@@ -25,6 +25,7 @@
 //! | [`push_requirement`](AtomicRegistration::push_requirement) | the coordinator when a new task reaches the bottom of a queue | adjust `r`, possibly reset `a` and bump `N` |
 //! | [`shrink_team`](AtomicRegistration::shrink_team) | the coordinator when the next task needs fewer threads (Section 3.1) | `r = a = t = new size`, `N += 1` |
 //! | [`disband`](AtomicRegistration::disband) | the coordinator when the next task needs more threads, or it stops coordinating (Alg. 9 lines 23–31) | `r = a = t = 1`, `N += 1` |
+//! | [`try_reuse`](AtomicRegistration::try_reuse) | the coordinator publishing a consecutive task to a still-warm team (DESIGN.md §15) | validates `t = a = r ≥ new r`; **no write** |
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -139,6 +140,19 @@ pub enum AcquireOutcome {
     /// The coordinator no longer needs additional threads (`a == r` already,
     /// or the requirement dropped below what the caller could contribute to).
     NotNeeded(Registration),
+}
+
+/// Outcome of [`AtomicRegistration::try_reuse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReuseOutcome {
+    /// The word still encodes the formed team and it covers the new
+    /// requirement: the coordinator may publish the next task to it directly,
+    /// skipping partner visits and registration entirely.  The snapshot is
+    /// the (unchanged) team the task will run on.
+    Reused(Registration),
+    /// No warm team, a torn/renewed word, or a team too small for the new
+    /// requirement: the full §8 build protocol is needed.
+    Incompatible(Registration),
 }
 
 /// A shared, atomically updated registration structure.
@@ -323,6 +337,35 @@ impl AtomicRegistration {
     pub fn disband(&self) -> Registration {
         self.shrink_team(1)
     }
+
+    /// The warm-reuse arm of the lifecycle (DESIGN.md §15): a coordinator
+    /// holding a team from a *previous* task checks whether that team can run
+    /// the next task of requirement `new_required` as-is.  Reuse is possible
+    /// exactly when the word still encodes a fully formed, un-renewed team
+    /// (`t = a = r > 1`) at least `new_required` strong — surplus members run
+    /// the task with `is_surplus` local ids (Refinement 2), so a smaller
+    /// requirement never forces a shrink on this path.
+    ///
+    /// This is deliberately a **pure read**: the whole point of warm reuse is
+    /// that the happy path costs one `Acquire` load here plus the publication
+    /// seqlock write, instead of the full partner-visit/registration/countdown
+    /// protocol.  The single-word packing makes the check atomic — a
+    /// concurrent `disband`/`shrink_team` either lands before the load (the
+    /// caller sees `Incompatible`) or after it (members observe the bumped
+    /// counter only once the coordinator, the sole writer of those arms, has
+    /// decided against reuse).
+    pub fn try_reuse(&self, new_required: u16) -> ReuseOutcome {
+        let cur = self.load();
+        if cur.has_team()
+            && cur.acquired == cur.teamed
+            && cur.required == cur.teamed
+            && new_required <= cur.teamed
+        {
+            ReuseOutcome::Reused(cur)
+        } else {
+            ReuseOutcome::Incompatible(cur)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -480,6 +523,52 @@ mod tests {
         assert_eq!(disbanded.teamed, 1);
         assert_eq!(disbanded.required, 1);
         assert!(disbanded.is_well_formed());
+    }
+
+    #[test]
+    fn reuse_accepts_a_warm_team_up_to_its_size() {
+        let reg = AtomicRegistration::new();
+        reg.push_requirement(4);
+        while !matches!(reg.try_acquire(2), AcquireOutcome::NotNeeded(_)) {}
+        let formed = reg.try_form_team().unwrap();
+        // A consecutive task needing the same team — or any smaller one —
+        // reuses the warm team without writing the word.
+        for r in 1..=4u16 {
+            match reg.try_reuse(r) {
+                ReuseOutcome::Reused(snap) => assert_eq!(snap, formed),
+                other => panic!("warm team of 4 must cover r = {r}: {other:?}"),
+            }
+        }
+        assert_eq!(reg.load(), formed, "try_reuse must never write");
+        // A bigger task cannot reuse: the full build protocol is needed.
+        assert!(matches!(reg.try_reuse(5), ReuseOutcome::Incompatible(_)));
+    }
+
+    #[test]
+    fn reuse_refused_without_a_team_or_after_disband() {
+        let reg = AtomicRegistration::new();
+        // Singleton word: nothing to reuse.
+        assert!(matches!(reg.try_reuse(2), ReuseOutcome::Incompatible(_)));
+        reg.push_requirement(2);
+        let _ = reg.try_acquire(2);
+        // Complete but not yet formed: reuse must not skip formation.
+        assert!(matches!(reg.try_reuse(2), ReuseOutcome::Incompatible(_)));
+        reg.try_form_team().unwrap();
+        assert!(matches!(reg.try_reuse(2), ReuseOutcome::Reused(_)));
+        reg.disband();
+        assert!(matches!(reg.try_reuse(2), ReuseOutcome::Incompatible(_)));
+    }
+
+    #[test]
+    fn reuse_refused_while_growing_past_the_team() {
+        let reg = AtomicRegistration::new();
+        reg.push_requirement(2);
+        let _ = reg.try_acquire(2);
+        reg.try_form_team().unwrap();
+        // Announcing a larger requirement keeps the team but opens slots
+        // (t < r): publication must wait for the new members.
+        reg.push_requirement(4);
+        assert!(matches!(reg.try_reuse(2), ReuseOutcome::Incompatible(_)));
     }
 
     #[test]

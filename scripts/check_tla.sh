@@ -44,7 +44,7 @@ for file in "${specs[@]}"; do
 done
 
 # The invariants DESIGN.md Section 14 cites by name must keep existing.
-for op in WellFormed NoTornTeam ExactlyOnceSlot NoDoubleRelease; do
+for op in WellFormed NoTornTeam ExactlyOnceSlot NoDoubleRelease NoTornReuse; do
     check_defined specs/tla/Registration.tla "$op"
 done
 for op in NoLostWakeup ExactlyOnceClaim TicketMonotone; do
