@@ -28,7 +28,7 @@
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::time::SystemTime;
+use std::time::{Duration, SystemTime};
 
 use teamsteal_apps::harness::{Kernel, Workload};
 use teamsteal_apps::micro;
@@ -58,6 +58,7 @@ struct Sweeps {
     wakeup_latency: bool,
     idle_burn: bool,
     team_build: bool,
+    service: bool,
 }
 
 impl Default for Sweeps {
@@ -71,6 +72,7 @@ impl Default for Sweeps {
             wakeup_latency: true,
             idle_burn: true,
             team_build: true,
+            service: true,
         }
     }
 }
@@ -85,6 +87,7 @@ impl Sweeps {
         wakeup_latency: false,
         idle_burn: false,
         team_build: false,
+        service: false,
     };
 
     /// `true` when any family writing into `BENCH_kernels.json` runs.
@@ -96,6 +99,7 @@ impl Sweeps {
             || self.wakeup_latency
             || self.idle_burn
             || self.team_build
+            || self.service
     }
 
     /// `true` when every `BENCH_kernels.json` family runs (no carryover
@@ -108,6 +112,7 @@ impl Sweeps {
             && self.wakeup_latency
             && self.idle_burn
             && self.team_build
+            && self.service
     }
 }
 
@@ -151,7 +156,7 @@ const HELP: &str = "Perf-trajectory harness (writes BENCH_sort.json / BENCH_kern
   --out-dir PATH     output directory (default .)
   --only LIST        comma-separated sweep families to run: sort,kernel,
                      micro,injection_throughput,soak,wakeup_latency,idle_burn,
-                     team_build (default: all eight)
+                     team_build,service_latency (default: all nine)
   --check FILE       fail (exit 1) on MMPar median regression vs baseline FILE;
                      with --smoke the comparison runs a dedicated MMPar pass at
                      the baseline's recorded size/threads so medians compare
@@ -218,11 +223,12 @@ fn parse_args() -> Result<Options, String> {
                         "wakeup_latency" => sweeps.wakeup_latency = true,
                         "idle_burn" => sweeps.idle_burn = true,
                         "team_build" => sweeps.team_build = true,
+                        "service_latency" => sweeps.service = true,
                         other => {
                             return Err(format!(
                                 "unknown sweep family '{other}' (expected sort, kernel, \
                                  micro, injection_throughput, soak, wakeup_latency, \
-                                 idle_burn or team_build)"
+                                 idle_burn, team_build or service_latency)"
                             ))
                         }
                     }
@@ -983,6 +989,139 @@ fn sweep_team_build(opts: &Options) -> Vec<RunRecord> {
     records
 }
 
+/// The `service_latency` family (DESIGN.md §16, EXPERIMENTS.md): drives the
+/// multi-tenant task service with the open-loop generator from
+/// [`teamsteal_service::loadgen`] and records two scenarios per thread
+/// count.  For the `service_latency_paced` record the samples *are* the
+/// sampled submit-to-complete latencies — `secs.median_s` / `secs.p95_s`
+/// read directly as p50/p95 service latency — with the arrival rate,
+/// admission counters, nearest-rank p99 and per-tenant fairness ratios
+/// (admitted share ÷ weight share; 1.0 is perfectly weighted-fair) in
+/// `extra`.  The `service_saturation` record measures the closed-loop
+/// completion ceiling and reports it as `saturation_tasks_per_sec`.
+fn sweep_service(opts: &Options) -> Vec<RunRecord> {
+    use teamsteal_service::loadgen::{saturation, service_latency, LoadgenConfig};
+    // Weighted tenants so the fairness ratios exercise the non-trivial
+    // (3:1) case; submitters alternate tenants, so offered load is even
+    // and the weights — not the offered split — set the fair shares.
+    let weights: Vec<u64> = vec![3, 1];
+    let paced_duration = if opts.smoke {
+        Duration::from_millis(250)
+    } else {
+        Duration::from_secs(2)
+    };
+    let arrival_rate_hz = (opts.size as u64).clamp(5_000, 50_000);
+    // Sample roughly this many latencies regardless of scale: enough for a
+    // stable nearest-rank p99, small enough that the committed baseline
+    // (which embeds `samples_s`) stays reviewable.
+    let offered_total = arrival_rate_hz as f64 * paced_duration.as_secs_f64();
+    let sample_every = ((offered_total / 512.0) as usize).max(1);
+    let mut records = Vec::new();
+    for &threads in &opts.threads {
+        let cfg = LoadgenConfig {
+            threads,
+            submitters: threads.max(2),
+            arrival_rate_hz,
+            duration: paced_duration,
+            tenant_weights: weights.clone(),
+            // Half the offered rate per weight unit: with weights 3 + 1 the
+            // combined budget is 2x the offered rate, so admission is
+            // normally quiet but bursts still brush the token buckets.
+            refill_rate: (arrival_rate_hz / 2).max(1_000),
+            burst: 256,
+            high_water: 1 << 15,
+            sample_every,
+            task_spin_ns: 500,
+        };
+        let paced = service_latency(&cfg);
+        let mut stats = RunStats::new();
+        for latency in &paced.latencies {
+            stats.record(*latency);
+        }
+        let secs = TimingSummary::from_stats(&stats);
+        // Nearest-rank p99 over the sampled latencies (TimingSummary stops
+        // at p95; tail latency is this family's whole point).
+        let p99_s = {
+            let mut sorted: Vec<f64> = secs.samples_s.clone();
+            sorted.sort_by(f64::total_cmp);
+            if sorted.is_empty() {
+                0.0
+            } else {
+                sorted[((sorted.len() as f64 * 0.99).ceil() as usize).max(1) - 1]
+            }
+        };
+        let fairness = paced.fairness_ratios(&weights);
+        let mut extra = vec![
+            (
+                "arrival_rate_hz".into(),
+                JsonValue::Number(arrival_rate_hz as f64),
+            ),
+            ("offered".into(), JsonValue::Number(paced.offered() as f64)),
+            ("admitted".into(), JsonValue::Number(paced.admitted() as f64)),
+            (
+                "backpressure_count".into(),
+                JsonValue::Number(paced.backpressure() as f64),
+            ),
+            ("shed_count".into(), JsonValue::Number(paced.shed() as f64)),
+            ("p99_s".into(), JsonValue::Number(p99_s)),
+        ];
+        for (i, ratio) in fairness.iter().enumerate() {
+            extra.push((format!("fairness_tenant_{i}"), JsonValue::Number(*ratio)));
+        }
+        eprintln!(
+            "service | {arrival_rate_hz:>6} Hz | p = {threads:>2} | p50 {:>8.1} us | p95 {:>8.1} us | p99 {:>8.1} us | shed {} bp {}",
+            secs.median_s * 1e6,
+            secs.p95_s * 1e6,
+            p99_s * 1e6,
+            paced.shed(),
+            paced.backpressure(),
+        );
+        records.push(RunRecord {
+            group: "service_latency".into(),
+            name: "service_latency_paced".into(),
+            distribution: None,
+            size: arrival_rate_hz as usize,
+            threads,
+            warmups: 0,
+            repetitions: paced.latencies.len(),
+            secs,
+            extra: Some(JsonValue::Object(extra)),
+            metrics: paced.metrics,
+            seq_reference_s: None,
+            speedup_vs_seq: None,
+        });
+
+        let mut sat_cfg = cfg.clone();
+        sat_cfg.duration = paced_duration / 2;
+        let sat = saturation(&sat_cfg);
+        let throughput = sat.tasks_per_sec();
+        eprintln!(
+            "satsvc  | p = {threads:>2} | {:>12.0} tasks/s ceiling ({} completed)",
+            throughput, sat.completed
+        );
+        let mut stats = RunStats::new();
+        stats.record(sat.elapsed);
+        records.push(RunRecord {
+            group: "service_latency".into(),
+            name: "service_saturation".into(),
+            distribution: None,
+            size: sat.completed as usize,
+            threads,
+            warmups: 0,
+            repetitions: 1,
+            secs: TimingSummary::from_stats(&stats),
+            extra: Some(JsonValue::Object(vec![(
+                "saturation_tasks_per_sec".into(),
+                JsonValue::Number(throughput),
+            )])),
+            metrics: sat.metrics,
+            seq_reference_s: None,
+            speedup_vs_seq: None,
+        });
+    }
+    records
+}
+
 /// Re-measures the checked variant (MMPar) at the baseline's recorded
 /// (distribution, size, threads) cells, so `--smoke --check` compares
 /// like-for-like medians instead of smoke-sized ones.  Repetitions and
@@ -1144,13 +1283,14 @@ fn run() -> Result<i32, String> {
                                 || (r.group == "wakeup_latency" && !opts.sweeps.wakeup_latency)
                                 || (r.group == "idle_burn" && !opts.sweeps.idle_burn)
                                 || (r.group == "team_build" && !opts.sweeps.team_build)
+                                || (r.group == "service_latency" && !opts.sweeps.service)
                         })
                         .collect()
                 })
                 .unwrap_or_default()
         };
         // Stable record order: kernel, micro, injection_throughput, soak,
-        // wakeup_latency, idle_burn.
+        // wakeup_latency, idle_burn, team_build, service_latency.
         let mut records: Vec<RunRecord> = Vec::new();
         let family = |enabled: bool,
                           group: &str,
@@ -1189,6 +1329,12 @@ fn run() -> Result<i32, String> {
         family(opts.sweeps.team_build, "team_build", &mut records, &mut || {
             sweep_team_build(&opts)
         });
+        family(
+            opts.sweeps.service,
+            "service_latency",
+            &mut records,
+            &mut || sweep_service(&opts),
+        );
         let kernel_report = new_report(&opts, "kernel", records);
         write_report(&kernels_path, &kernel_report)?;
     }

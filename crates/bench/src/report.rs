@@ -1328,6 +1328,108 @@ mod tests {
         );
     }
 
+    /// A `service_latency` record as `perf --only service_latency` writes
+    /// it (PR 9): the samples are submit-to-complete latencies, and the
+    /// family's counters — arrival rate, admission outcomes, nearest-rank
+    /// p99 and per-tenant fairness ratios — ride in `extra`.
+    fn sample_service_record() -> RunRecord {
+        let mut stats = RunStats::new();
+        for us in [9u64, 11, 14, 21, 34] {
+            stats.record(Duration::from_micros(us));
+        }
+        RunRecord {
+            group: "service_latency".into(),
+            name: "service_latency_paced".into(),
+            distribution: None,
+            size: 20_000, // the arrival rate doubles as the cell size
+            threads: 2,
+            warmups: 0,
+            repetitions: 5,
+            secs: TimingSummary::from_stats(&stats),
+            metrics: MetricsSnapshot {
+                tasks_injected: 5_000,
+                injector_local_pops: 4_000,
+                injector_remote_pops: 1_000,
+                ..Default::default()
+            },
+            seq_reference_s: None,
+            speedup_vs_seq: None,
+            extra: Some(JsonValue::Object(vec![
+                ("arrival_rate_hz".into(), JsonValue::Number(20_000.0)),
+                ("offered".into(), JsonValue::Number(5_000.0)),
+                ("admitted".into(), JsonValue::Number(4_900.0)),
+                ("backpressure_count".into(), JsonValue::Number(80.0)),
+                ("shed_count".into(), JsonValue::Number(20.0)),
+                ("p99_s".into(), JsonValue::Number(34e-6)),
+                ("fairness_tenant_0".into(), JsonValue::Number(1.02)),
+                ("fairness_tenant_1".into(), JsonValue::Number(0.94)),
+            ])),
+        }
+    }
+
+    #[test]
+    fn service_latency_records_round_trip_with_extras() {
+        let mut report = sample_report(0.010);
+        report.group = "kernel".into();
+        report.records = vec![sample_service_record()];
+        let text = report.to_json_string();
+        let parsed = Report::from_json_str(&text).expect("service report parses");
+        assert_eq!(parsed, report);
+        assert_eq!(parsed.to_json_string(), text);
+        // The family counters survive the round trip through `extra`.
+        let extra = parsed.records[0].extra.as_ref().expect("extra present");
+        for (key, expected) in [
+            ("arrival_rate_hz", 20_000.0),
+            ("shed_count", 20.0),
+            ("backpressure_count", 80.0),
+            ("p99_s", 34e-6),
+            ("fairness_tenant_0", 1.02),
+            ("fairness_tenant_1", 0.94),
+        ] {
+            assert_eq!(
+                extra.get(key).and_then(JsonValue::as_f64),
+                Some(expected),
+                "extra field `{key}` lost in the round trip"
+            );
+        }
+    }
+
+    #[test]
+    fn pre_service_baselines_parse_with_defaulted_extra() {
+        // A kernels report written before PR 9 carries no `service_latency`
+        // records, and records written by even older harnesses carry no
+        // `extra` field at all: strip `extra` from every record and the
+        // parser must default it to `None` (so pre-service committed
+        // baselines keep working as carryover inputs).
+        let mut report = sample_report(0.010);
+        report.group = "kernel".into();
+        let text = report.to_json_string();
+        let mut value = JsonValue::parse(&text).unwrap();
+        if let JsonValue::Object(pairs) = &mut value {
+            if let Some((_, JsonValue::Array(records))) =
+                pairs.iter_mut().find(|(k, _)| k == "records")
+            {
+                for record in records {
+                    if let JsonValue::Object(fields) = record {
+                        fields.retain(|(k, _)| k != "extra");
+                    }
+                }
+            }
+        }
+        let parsed = Report::from_json_str(&value.render()).expect("old schema parses");
+        assert!(!parsed.records.is_empty());
+        for record in &parsed.records {
+            assert_eq!(record.extra, None);
+            // The pre-existing fields survived the strip.
+            assert_eq!(record.metrics.steals, 17);
+        }
+        // And a defaulted report round-trips stably.
+        assert_eq!(
+            Report::from_json_str(&parsed.to_json_string()).unwrap(),
+            parsed
+        );
+    }
+
     #[test]
     fn check_passes_within_tolerance_and_fails_beyond_it() {
         let baseline = sample_report(0.010);

@@ -96,6 +96,16 @@ pub struct SchedulerConfig {
     /// single consecutive task is what the warm pool exists to serve.
     /// `usize::MAX` disables elastic shrink.
     pub elastic_backlog_threshold: usize,
+    /// Epoch-participant slots pre-registered for threads *outside* the
+    /// worker pool (DESIGN.md §11): every `Scheduler::scope` submitter
+    /// borrows one slot with a single CAS around each injector access.  With
+    /// more simultaneous submitters than slots, the surplus spin-waits for a
+    /// free slot (counted in `external_pin_waits`) — harmless for a handful
+    /// of threads, a hard convoy for service front-ends with hundreds of
+    /// them.  Size this at least as large as the peak number of threads that
+    /// submit concurrently; the default of 32 preserves the pre-service
+    /// behaviour.  Values below 1 are clamped to 1.
+    pub external_participants: usize,
 }
 
 impl Default for SchedulerConfig {
@@ -113,6 +123,7 @@ impl Default for SchedulerConfig {
             domain_width: 8,
             warm_keepalive: Duration::from_micros(200),
             elastic_backlog_threshold: 64,
+            external_participants: 32,
         }
     }
 }

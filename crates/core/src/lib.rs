@@ -86,7 +86,7 @@ mod worker;
 pub use config::{SchedulerConfig, StealAmount};
 pub use context::TaskContext;
 pub use metrics::{MetricsSnapshot, WakeLatencyHistogram};
-pub use scheduler::{ReclamationSnapshot, Scheduler, SchedulerBuilder, Scope};
+pub use scheduler::{ConcurrentScope, ReclamationSnapshot, Scheduler, SchedulerBuilder, Scope};
 pub use task::Job;
 pub use team::TeamBarrier;
 pub use worker::{enable_stall_debug, stall_report};

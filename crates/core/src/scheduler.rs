@@ -211,6 +211,26 @@ impl SchedulerBuilder {
         self
     }
 
+    /// Sets the number of pre-registered epoch-pin slots for threads outside
+    /// the worker pool (see [`SchedulerConfig::external_participants`]).
+    /// Size it at least as large as the peak number of threads submitting
+    /// concurrently: with the pool exhausted, surplus submitters spin-wait
+    /// for a slot and are counted in `external_pin_waits`.
+    ///
+    /// ```
+    /// use teamsteal_core::Scheduler;
+    ///
+    /// let scheduler = Scheduler::builder()
+    ///     .threads(2)
+    ///     .external_participants(128)
+    ///     .build();
+    /// assert_eq!(scheduler.external_pin_slots(), 128);
+    /// ```
+    pub fn external_participants(mut self, slots: usize) -> Self {
+        self.config.external_participants = slots;
+        self
+    }
+
     /// Overrides the full configuration.
     ///
     /// ```
@@ -447,6 +467,38 @@ impl Scheduler {
             .collect()
     }
 
+    /// Current queue length of every injection shard, indexed by
+    /// shard/domain (DESIGN.md §13).  This is the external **backlog**
+    /// gauge — root tasks submitted but not yet popped by a worker — that
+    /// admission-control layers use as their high-water signal.  Lock-free
+    /// reads; values may be stale by the time the caller acts on them.
+    ///
+    /// ```
+    /// use teamsteal_core::Scheduler;
+    ///
+    /// let scheduler = Scheduler::with_threads(2);
+    /// scheduler.run(|_| {});
+    /// // After a scope has drained, no external backlog remains.
+    /// assert_eq!(scheduler.injector_shard_lens().iter().sum::<usize>(), 0);
+    /// ```
+    pub fn injector_shard_lens(&self) -> Vec<usize> {
+        (0..self.shared.injector.num_shards())
+            .map(|s| self.shared.injector.shard_len(s))
+            .collect()
+    }
+
+    /// Total external backlog: the sum of
+    /// [`injector_shard_lens`](Self::injector_shard_lens) over all shards.
+    pub fn injector_len(&self) -> usize {
+        self.shared.injector.len()
+    }
+
+    /// Number of pre-registered epoch-pin slots for external submitter
+    /// threads (see [`SchedulerBuilder::external_participants`]).
+    pub fn external_pin_slots(&self) -> usize {
+        self.shared.external_pins.capacity()
+    }
+
     fn check_requirement(&self, requirement: usize, requirement_min: usize) {
         assert!(requirement_min >= 1, "a task requires at least one thread");
         assert!(
@@ -579,5 +631,129 @@ impl Scope<'_> {
     /// Number of worker threads of the underlying scheduler.
     pub fn num_threads(&self) -> usize {
         self.scheduler.num_threads()
+    }
+}
+
+/// A reusable, clonable scope for **concurrent external submission**.
+///
+/// [`Scheduler::scope`] is transactional: it borrows the scheduler, blocks
+/// the calling thread until everything it spawned has drained, and hands the
+/// [`Scope`] to exactly one closure.  A `ConcurrentScope` decouples all
+/// three for long-lived front-ends: it owns nothing but completion
+/// bookkeeping (one `Arc`), is `Clone + Send + Sync`, and accepts
+/// submissions from any number of threads while earlier tasks are still
+/// running.  Callers block only where they choose to, via
+/// [`wait_idle`](Self::wait_idle).
+///
+/// A panicking task does **not** unwind any caller here (there is no scope
+/// call to re-throw from); the first payload is captured and surfaces
+/// through [`take_panic`](Self::take_panic).
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+/// use teamsteal_core::{ConcurrentScope, Scheduler};
+///
+/// let scheduler = Scheduler::with_threads(2);
+/// let scope = ConcurrentScope::new();
+/// let hits = Arc::new(AtomicUsize::new(0));
+/// for _ in 0..8 {
+///     let hits = Arc::clone(&hits);
+///     scope.submit(&scheduler, move |_| {
+///         hits.fetch_add(1, Ordering::Relaxed);
+///     });
+/// }
+/// scope.wait_idle();
+/// assert_eq!(hits.load(Ordering::Relaxed), 8);
+/// ```
+#[derive(Clone)]
+pub struct ConcurrentScope {
+    state: Arc<ScopeState>,
+}
+
+impl Default for ConcurrentScope {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConcurrentScope {
+    /// Creates an empty concurrent scope.
+    pub fn new() -> Self {
+        ConcurrentScope {
+            state: ScopeState::new(),
+        }
+    }
+
+    /// Submits a sequential (`r = 1`) root task to `scheduler`, accounted to
+    /// this scope.  Returns as soon as the task is enqueued.
+    pub fn submit<F>(&self, scheduler: &Scheduler, f: F)
+    where
+        F: FnOnce(&TaskContext<'_>) + Send + 'static,
+    {
+        self.submit_concrete(scheduler, OnceJob::new(f));
+    }
+
+    /// Submits a data-parallel root task requiring `threads` workers (see
+    /// [`Scope::spawn_team`]).
+    pub fn submit_team<F>(&self, scheduler: &Scheduler, threads: usize, f: F)
+    where
+        F: Fn(&TaskContext<'_>) + Send + Sync + 'static,
+    {
+        self.submit_concrete(scheduler, TeamJob::new(threads, f));
+    }
+
+    /// Submits a **moldable** data-parallel root task (see
+    /// [`Scope::spawn_team_moldable`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty, starts at zero, or ends beyond the
+    /// number of scheduler threads.
+    pub fn submit_team_moldable<F>(
+        &self,
+        scheduler: &Scheduler,
+        threads: std::ops::RangeInclusive<usize>,
+        f: F,
+    ) where
+        F: Fn(&TaskContext<'_>) + Send + Sync + 'static,
+    {
+        let (min, max) = (*threads.start(), *threads.end());
+        assert!(min <= max, "moldable range {min}..={max} is empty");
+        self.submit_concrete(scheduler, TeamJob::moldable(min, max, f));
+    }
+
+    /// Number of submitted tasks (including their transitively spawned
+    /// children) that have not finished yet.  A point-in-time gauge: with
+    /// concurrent submitters it can be stale immediately.
+    pub fn pending(&self) -> usize {
+        self.state.pending()
+    }
+
+    /// Blocks until every task accounted to this scope — submitted directly
+    /// or spawned transitively from one — has finished.  Other threads may
+    /// keep submitting while a caller waits; the call returns at the first
+    /// observed quiescent point.
+    pub fn wait_idle(&self) {
+        self.state.wait();
+    }
+
+    /// Takes the first panic payload raised by a task of this scope, if any.
+    /// Call at drain points to rethrow (or log) deferred task panics.
+    pub fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        self.state.take_panic()
+    }
+
+    fn submit_concrete<J: Job + 'static>(&self, scheduler: &Scheduler, job: J) {
+        let requirement = job.requirement();
+        let requirement_min = job.requirement_min();
+        scheduler.check_requirement(requirement, requirement_min);
+        let node = TaskNode::allocate_boxed(
+            JobSlot::new(job),
+            requirement,
+            requirement_min,
+            Arc::clone(&self.state),
+        );
+        scheduler.shared.inject(node);
     }
 }

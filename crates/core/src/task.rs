@@ -300,7 +300,6 @@ impl ScopeState {
     }
 
     /// Number of not-yet-finished tasks.
-    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn pending(&self) -> usize {
         self.pending.load(Ordering::Acquire)
     }

@@ -173,16 +173,14 @@ impl WorkerShared {
     }
 }
 
-/// Participant slots pre-registered for threads *outside* the worker pool
-/// (`Scheduler::scope` submitters, drop-time draining).  More simultaneous
-/// submitters than this wait for a free slot in `ExternalPins` under a
-/// capped backoff (spin, then yield, then bounded sleeps of ≤ 50 µs) and
-/// are counted in `external_pin_waits`; the wait is bounded because every
-/// claim is released after one queue operation, so a slot frees in O(µs).
-const EXTERNAL_PARTICIPANTS: usize = 32;
-
 /// A fixed pool of pre-registered epoch participants that threads outside
-/// the worker pool borrow around each injector access.
+/// the worker pool borrow around each injector access (`Scheduler::scope`
+/// submitters, drop-time draining).  The pool size comes from
+/// [`SchedulerConfig::external_participants`] (default 32); more
+/// simultaneous submitters than that wait for a free slot under a capped
+/// backoff (spin, then yield, then bounded sleeps of ≤ 50 µs) and are
+/// counted in `external_pin_waits`.  The wait is bounded because every
+/// claim is released after one queue operation, so a slot frees in O(µs).
 ///
 /// Workers own their participant for the whole thread lifetime; external
 /// submitters are arbitrary short-lived threads, so they claim a slot with
@@ -194,7 +192,7 @@ pub(crate) struct ExternalPins {
     /// Exhaustion episodes: a submitter scanned every slot, found all of
     /// them claimed, and had to back off before rescanning.  Counted once
     /// per episode (not per rescan), so the value reads as "how often were
-    /// more than [`EXTERNAL_PARTICIPANTS`] threads mid-injection at once".
+    /// more threads mid-injection at once than the pool has slots".
     pin_waits: AtomicU64,
 }
 
@@ -228,6 +226,11 @@ impl ExternalPins {
     /// Number of recorded exhaustion-backoff episodes (see `pin_waits`).
     pub(crate) fn pin_waits(&self) -> u64 {
         self.pin_waits.load(Ordering::Relaxed)
+    }
+
+    /// Number of slots in the pool.
+    pub(crate) fn capacity(&self) -> usize {
+        self.slots.len()
     }
 
     /// Runs `f` pinned to a borrowed external participant.
@@ -278,8 +281,8 @@ impl ExternalPins {
                 drop(guard);
                 return result;
             }
-            // All slots claimed: more than EXTERNAL_PARTICIPANTS threads are
-            // mid-injection right now.  Briefly back off and rescan — a slot
+            // All slots claimed: more threads are mid-injection right now
+            // than the pool has slots.  Briefly back off and rescan — a slot
             // frees after one queue operation, so the capped wait (≤ 50 µs)
             // bounds the added latency while keeping the path allocation- and
             // lock-free.  Count the episode so saturation is observable.
@@ -345,8 +348,9 @@ impl SchedulerShared {
         let p = topology.num_threads();
         let queue_levels = topology.num_queue_levels();
         let domains = Domains::new(&topology, config.domain_width);
-        let epoch = Domain::new(p + EXTERNAL_PARTICIPANTS);
-        let external_pins = ExternalPins::new(&epoch, EXTERNAL_PARTICIPANTS);
+        let external_participants = config.external_participants.max(1);
+        let epoch = Domain::new(p + external_participants);
+        let external_pins = ExternalPins::new(&epoch, external_participants);
         let shared = Arc::new(SchedulerShared {
             workers: (0..p)
                 .map(|id| CachePadded::new(WorkerShared::new(id, queue_levels, &epoch)))

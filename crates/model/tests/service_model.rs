@@ -1,0 +1,193 @@
+//! Model-checked tests for the task service's drain gate (`DESIGN.md` §16).
+//!
+//! The protocol under test is the real one: `teamsteal_service::gate` is
+//! built on the `teamsteal_util::sync` shim, so under
+//! `--cfg teamsteal_model` the [`DrainGate`] runs on the explorer's virtual
+//! atomics and monitors, and every interleaving of racing submitters
+//! against a drainer and a worker is enumerated.  The invariants are the
+//! service's drain guarantee:
+//!
+//! 1. **No admitted task is dropped**: when `await_empty` returns, every
+//!    submission that won `try_enter` has been run by the worker.
+//! 2. **No post-drain execution**: no task runs after the drainer has
+//!    observed the gate empty.
+//! 3. **Exactly-once drain**: of racing drainers, exactly one performs the
+//!    `Open → Draining` transition.
+//!
+//! Run with `RUSTFLAGS='--cfg teamsteal_model' cargo test -p teamsteal-model`.
+#![cfg(teamsteal_model)]
+
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex as StdMutex};
+use std::time::Duration;
+
+use teamsteal_model::{thread, Builder};
+use teamsteal_service::gate::{DrainGate, GateState};
+use teamsteal_util::sync::atomic::{AtomicUsize, Ordering};
+use teamsteal_util::sync::{Condvar, Mutex};
+
+/// Long enough that it can only fire via the model's
+/// nothing-else-runnable timeout escape, never en passant.
+const BACKSTOP: Duration = Duration::from_millis(10);
+
+/// The full service pipeline in miniature: two submitters race one drainer
+/// while a worker completes admitted tasks.  A submitter that wins
+/// `try_enter` queues a task; the worker runs it, records whether the
+/// world was already "drained", and only then releases the gate entry —
+/// the same shape as the service's completion guard.  On **every**
+/// interleaving: drain returns only after all admitted tasks completed,
+/// and nothing runs after it returned.
+#[test]
+fn drain_vs_racing_submitters_loses_nothing() {
+    let seen: Arc<StdMutex<BTreeSet<usize>>> = Arc::default();
+    let seen_in = Arc::clone(&seen);
+    Builder::new().preemption_bound(2).check(move || {
+        let gate = Arc::new(DrainGate::new());
+        let queue = Arc::new(Mutex::new(Vec::new()));
+        let queue_cv = Arc::new(Condvar::new());
+        let admitted = Arc::new(AtomicUsize::new(0));
+        let completed = Arc::new(AtomicUsize::new(0));
+        let drain_returned = Arc::new(AtomicUsize::new(0));
+        let post_drain_runs = Arc::new(AtomicUsize::new(0));
+        let submitters_done = Arc::new(AtomicUsize::new(0));
+
+        let submitters: Vec<_> = (0..2)
+            .map(|task_id: usize| {
+                let gate = Arc::clone(&gate);
+                let queue = Arc::clone(&queue);
+                let queue_cv = Arc::clone(&queue_cv);
+                let admitted = Arc::clone(&admitted);
+                let submitters_done = Arc::clone(&submitters_done);
+                thread::spawn(move || {
+                    let won = gate.try_enter();
+                    if won {
+                        // Admitted: the gate entry is held until the worker
+                        // completes the task (the completion-guard pattern).
+                        admitted.fetch_add(1, Ordering::SeqCst);
+                        let mut q = queue.lock().unwrap();
+                        q.push(task_id);
+                        queue_cv.notify_all();
+                        drop(q);
+                    }
+                    submitters_done.fetch_add(1, Ordering::SeqCst);
+                    won
+                })
+            })
+            .collect();
+
+        let worker = {
+            let gate = Arc::clone(&gate);
+            let queue = Arc::clone(&queue);
+            let queue_cv = Arc::clone(&queue_cv);
+            let completed = Arc::clone(&completed);
+            let drain_returned = Arc::clone(&drain_returned);
+            let post_drain_runs = Arc::clone(&post_drain_runs);
+            let submitters_done = Arc::clone(&submitters_done);
+            thread::spawn(move || {
+                let mut guard = queue.lock().unwrap();
+                loop {
+                    if guard.pop().is_some() {
+                        drop(guard);
+                        // "Run" the task: an execution after drain() has
+                        // returned would violate the drain guarantee.
+                        if drain_returned.load(Ordering::SeqCst) == 1 {
+                            post_drain_runs.fetch_add(1, Ordering::SeqCst);
+                        }
+                        completed.fetch_add(1, Ordering::SeqCst);
+                        gate.exit();
+                        guard = queue.lock().unwrap();
+                        continue;
+                    }
+                    if submitters_done.load(Ordering::SeqCst) == 2 {
+                        return;
+                    }
+                    let (g, _) = queue_cv.wait_timeout(guard, BACKSTOP).unwrap();
+                    guard = g;
+                }
+            })
+        };
+
+        let drainer = {
+            let gate = Arc::clone(&gate);
+            let admitted = Arc::clone(&admitted);
+            let completed = Arc::clone(&completed);
+            let drain_returned = Arc::clone(&drain_returned);
+            thread::spawn(move || {
+                assert!(gate.begin_drain(), "the only drainer wins the CAS");
+                gate.await_empty(BACKSTOP);
+                // Invariant 1: the drain point sees every admitted task
+                // already completed — in_flight covered submit → complete.
+                assert_eq!(
+                    completed.load(Ordering::SeqCst),
+                    admitted.load(Ordering::SeqCst),
+                    "drain returned with an admitted task not yet run"
+                );
+                drain_returned.store(1, Ordering::SeqCst);
+            })
+        };
+
+        let wins: usize = submitters.into_iter().map(|s| s.join().unwrap() as usize).sum();
+        drainer.join().unwrap();
+        worker.join().unwrap();
+
+        // Invariant 2: no execution after the drain point, on any schedule.
+        assert_eq!(
+            post_drain_runs.load(Ordering::SeqCst),
+            0,
+            "a task ran after drain() returned"
+        );
+        assert_eq!(completed.load(Ordering::SeqCst), wins);
+        assert_eq!(gate.state(), GateState::Drained);
+        assert_eq!(gate.in_flight(), 0);
+        // The gate stays shut forever after the drain.
+        assert!(!gate.try_enter(), "post-drain submission must be rejected");
+
+        seen_in.lock().unwrap().insert(wins);
+    });
+    // The exploration must reach schedules where the drainer beat both
+    // submitters, lost to both, and split them — otherwise the race was
+    // never actually explored.
+    let seen = seen.lock().unwrap();
+    for admitted in [0usize, 1, 2] {
+        assert!(
+            seen.contains(&admitted),
+            "exploration never produced a schedule admitting {admitted} tasks: {seen:?}"
+        );
+    }
+}
+
+/// Exactly-once initiation (invariant 3): two racing drainers — exactly
+/// one wins the `Open → Draining` CAS on every interleaving, both may wait
+/// the gate out, and the gate ends `Drained` with a live entry released
+/// in between.
+#[test]
+fn racing_drainers_initiate_exactly_once() {
+    let seen: Arc<StdMutex<BTreeSet<&'static str>>> = Arc::default();
+    let seen_in = Arc::clone(&seen);
+    Builder::new().check(move || {
+        let gate = Arc::new(DrainGate::new());
+        // One live entry so await_empty has something to wait for.
+        assert!(gate.try_enter());
+        let drainers: Vec<_> = (0..2)
+            .map(|_| {
+                let gate = Arc::clone(&gate);
+                thread::spawn(move || {
+                    let initiated = gate.begin_drain();
+                    gate.await_empty(BACKSTOP);
+                    assert_eq!(gate.in_flight(), 0);
+                    initiated
+                })
+            })
+            .collect();
+        let completer = {
+            let gate = Arc::clone(&gate);
+            thread::spawn(move || gate.exit())
+        };
+        let initiations: usize = drainers.into_iter().map(|d| d.join().unwrap() as usize).sum();
+        completer.join().unwrap();
+        assert_eq!(initiations, 1, "the Open → Draining transition must be exactly-once");
+        assert_eq!(gate.state(), GateState::Drained);
+        seen_in.lock().unwrap().insert("done");
+    });
+    assert!(seen.lock().unwrap().contains("done"));
+}

@@ -1,0 +1,760 @@
+//! # teamsteal-service — a multi-tenant task-service front-end
+//!
+//! The scheduler crate is a *library*: one process opens a scope, spawns,
+//! and blocks until the scope drains.  This crate is the *service plane*
+//! on top (DESIGN.md §16): one persistent [`Scheduler`] wrapped behind
+//! long-lived [`Tenant`] handles that any number of threads submit through
+//! concurrently, with three layers between a submission and the injector:
+//!
+//! 1. **Drain gate** ([`gate::DrainGate`]) — [`TaskService::drain`] rejects
+//!    new work, runs every admitted task to completion exactly once, and
+//!    releases the workers back to their parked idle loop.  The racing
+//!    submitter-vs-drainer protocol is model-checked
+//!    (`crates/model/tests/service_model.rs`).
+//! 2. **Overload shedding** — submissions are shed with
+//!    [`SubmitError::Overloaded`] while the injector backlog (the PR 6
+//!    per-shard gauges, summed) sits above the configured high-water mark,
+//!    bounding queue memory and queueing delay under overload.
+//! 3. **Weighted-fair admission** ([`admission::TokenBucket`]) — each
+//!    tenant's token budget refills at `refill_rate × weight` tasks per
+//!    second, so a hot tenant saturates its own budget instead of starving
+//!    the rest; the excess gets [`SubmitError::Backpressure`] or bounded
+//!    blocking, per the tenant's [`AdmissionPolicy`].
+//!
+//! ```
+//! use teamsteal_service::{ServiceBuilder, TenantConfig};
+//!
+//! let service = ServiceBuilder::new()
+//!     .threads(2)
+//!     .refill_rate(1_000_000)
+//!     .tenant(TenantConfig::new("interactive").weight(3))
+//!     .tenant(TenantConfig::new("batch").weight(1))
+//!     .build();
+//! let interactive = service.tenant("interactive").unwrap();
+//! let hits = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+//! for _ in 0..32 {
+//!     let hits = std::sync::Arc::clone(&hits);
+//!     interactive
+//!         .submit(move |_| {
+//!             hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+//!         })
+//!         .unwrap();
+//! }
+//! let report = service.drain();
+//! assert!(report.initiated);
+//! assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 32);
+//! assert!(interactive.submit(|_| {}).is_err()); // submit-after-drain fails
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod gate;
+pub mod loadgen;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use teamsteal_core::{ConcurrentScope, Scheduler, TaskContext};
+
+use admission::TokenBucket;
+use gate::{DrainGate, GateState};
+
+/// What a tenant's excess submissions (beyond its refilled token budget)
+/// experience.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Fail fast with [`SubmitError::Backpressure`] — the open-loop choice:
+    /// the caller owns the retry/drop decision.
+    Reject,
+    /// Block the submitting thread until the budget refills, up to the
+    /// given bound, then fail with [`SubmitError::Backpressure`] — the
+    /// closed-loop choice: the submitter is paced to its fair rate.
+    Block(Duration),
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The tenant's token budget is exhausted (and any blocking bound
+    /// expired).  Retry after backing off, or drop the work.
+    Backpressure,
+    /// The global injector backlog is above the high-water mark; the
+    /// submission was shed to bound queueing delay.  Retry after backing
+    /// off.
+    Overloaded,
+    /// [`TaskService::drain`] has begun (or finished); the service accepts
+    /// no further work, ever.
+    Draining,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Backpressure => write!(f, "tenant token budget exhausted"),
+            SubmitError::Overloaded => write!(f, "injector backlog above high-water mark"),
+            SubmitError::Draining => write!(f, "service is draining"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Declarative description of one tenant, consumed by
+/// [`ServiceBuilder::tenant`].
+#[derive(Debug, Clone)]
+pub struct TenantConfig {
+    name: String,
+    weight: u64,
+    burst: u64,
+    policy: AdmissionPolicy,
+    max_concurrency: usize,
+}
+
+impl TenantConfig {
+    /// A tenant with weight 1, a 32-task burst allowance, the fail-fast
+    /// [`AdmissionPolicy::Reject`], and an expected submission concurrency
+    /// of 4 threads.
+    pub fn new(name: impl Into<String>) -> Self {
+        TenantConfig {
+            name: name.into(),
+            weight: 1,
+            burst: 32,
+            policy: AdmissionPolicy::Reject,
+            max_concurrency: 4,
+        }
+    }
+
+    /// Relative share of the service's admission budget: the tenant's
+    /// bucket refills at `refill_rate × weight` tasks per second.
+    pub fn weight(mut self, weight: u64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Bucket capacity in tasks: how large a burst is admitted ahead of
+    /// the refill rate from a full (idle) bucket.
+    pub fn burst(mut self, burst: u64) -> Self {
+        self.burst = burst;
+        self
+    }
+
+    /// What excess submissions experience (default
+    /// [`AdmissionPolicy::Reject`]).
+    pub fn policy(mut self, policy: AdmissionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Expected number of threads submitting through this tenant
+    /// concurrently.  The service sizes the scheduler's external epoch-pin
+    /// pool from the sum over all tenants, so submissions stay convoy-free
+    /// at the declared concurrency (`external_pin_waits` stays 0).
+    pub fn max_concurrency(mut self, threads: usize) -> Self {
+        self.max_concurrency = threads;
+        self
+    }
+}
+
+/// Builder for a [`TaskService`].  Tenants are registered up front so the
+/// service can size the scheduler (external pin pool) before it starts.
+#[derive(Debug, Clone)]
+pub struct ServiceBuilder {
+    threads: Option<usize>,
+    refill_rate: u64,
+    high_water: usize,
+    external_participants: Option<usize>,
+    drain_backstop: Duration,
+    tenants: Vec<TenantConfig>,
+}
+
+impl Default for ServiceBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServiceBuilder {
+    /// A service with scheduler-default worker threads, a refill rate of
+    /// 100 000 tasks/s per weight unit, a 65 536-task high-water mark and
+    /// no tenants (register at least one before [`build`](Self::build)).
+    pub fn new() -> Self {
+        ServiceBuilder {
+            threads: None,
+            refill_rate: 100_000,
+            high_water: 1 << 16,
+            external_participants: None,
+            drain_backstop: Duration::from_millis(10),
+            tenants: Vec::new(),
+        }
+    }
+
+    /// Number of scheduler worker threads (default: available parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Admission budget refill rate in tasks per second *per weight unit*:
+    /// a tenant with weight `w` is admitted at up to `refill_rate × w`
+    /// sustained tasks per second.
+    pub fn refill_rate(mut self, tasks_per_sec: u64) -> Self {
+        self.refill_rate = tasks_per_sec;
+        self
+    }
+
+    /// Injector-backlog high-water mark: submissions are shed with
+    /// [`SubmitError::Overloaded`] while the total backlog (summed over the
+    /// per-domain shards) exceeds this many queued tasks.
+    pub fn high_water(mut self, tasks: usize) -> Self {
+        self.high_water = tasks;
+        self
+    }
+
+    /// Overrides the automatically sized external epoch-pin pool (default:
+    /// the sum of the tenants' declared `max_concurrency`, floored at the
+    /// scheduler's own default of 32).
+    pub fn external_participants(mut self, slots: usize) -> Self {
+        self.external_participants = Some(slots);
+        self
+    }
+
+    /// Defensive re-check period while [`TaskService::drain`] waits for
+    /// in-flight work (the drain protocol does not rely on it).
+    pub fn drain_backstop(mut self, backstop: Duration) -> Self {
+        self.drain_backstop = backstop;
+        self
+    }
+
+    /// Registers a tenant.  Names must be unique.
+    pub fn tenant(mut self, config: TenantConfig) -> Self {
+        self.tenants.push(config);
+        self
+    }
+
+    /// Builds the service and starts the scheduler's workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no tenant was registered or two tenants share a name.
+    pub fn build(self) -> TaskService {
+        assert!(
+            !self.tenants.is_empty(),
+            "a TaskService needs at least one tenant"
+        );
+        for (i, t) in self.tenants.iter().enumerate() {
+            assert!(
+                self.tenants[..i].iter().all(|u| u.name != t.name),
+                "duplicate tenant name `{}`",
+                t.name
+            );
+        }
+        let external = self.external_participants.unwrap_or_else(|| {
+            self.tenants
+                .iter()
+                .map(|t| t.max_concurrency)
+                .sum::<usize>()
+                .max(32)
+        });
+        let mut builder = Scheduler::builder().external_participants(external);
+        if let Some(threads) = self.threads {
+            builder = builder.threads(threads);
+        }
+        let scheduler = builder.build();
+        let tenants: Vec<Arc<TenantState>> = self
+            .tenants
+            .into_iter()
+            .map(|t| {
+                Arc::new(TenantState {
+                    name: t.name,
+                    bucket: TokenBucket::new(self.refill_rate, t.weight, t.burst),
+                    weight: t.weight,
+                    policy: t.policy,
+                    offered: AtomicU64::new(0),
+                    admitted: AtomicU64::new(0),
+                    rejected: AtomicU64::new(0),
+                    shed: AtomicU64::new(0),
+                    drain_rejected: AtomicU64::new(0),
+                    completed: AtomicU64::new(0),
+                })
+            })
+            .collect();
+        TaskService {
+            core: Arc::new(ServiceCore {
+                scheduler,
+                scope: ConcurrentScope::new(),
+                gate: DrainGate::new(),
+                high_water: self.high_water,
+                drain_backstop: self.drain_backstop,
+                start: Instant::now(),
+                tenants,
+            }),
+        }
+    }
+}
+
+/// Per-tenant admission/completion counters, snapshot via
+/// [`Tenant::stats`].  Conservation invariant (the admission proptests pin
+/// down the bucket half): `offered == admitted + rejected + shed +
+/// drain_rejected`, and after a drain `completed == admitted`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TenantStats {
+    /// Submissions attempted through [`Tenant::submit`].
+    pub offered: u64,
+    /// Submissions admitted to the scheduler.
+    pub admitted: u64,
+    /// Submissions rejected by the tenant's token budget
+    /// ([`SubmitError::Backpressure`]).
+    pub rejected: u64,
+    /// Submissions shed by the global high-water gate
+    /// ([`SubmitError::Overloaded`]).
+    pub shed: u64,
+    /// Submissions rejected because a drain had begun
+    /// ([`SubmitError::Draining`]).
+    pub drain_rejected: u64,
+    /// Admitted tasks that have finished executing (panicking tasks
+    /// count: their completion guard runs during unwind).
+    pub completed: u64,
+}
+
+struct TenantState {
+    name: String,
+    bucket: TokenBucket,
+    weight: u64,
+    policy: AdmissionPolicy,
+    offered: AtomicU64,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    shed: AtomicU64,
+    drain_rejected: AtomicU64,
+    completed: AtomicU64,
+}
+
+impl TenantState {
+    fn stats(&self) -> TenantStats {
+        TenantStats {
+            offered: self.offered.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            drain_rejected: self.drain_rejected.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct ServiceCore {
+    scheduler: Scheduler,
+    scope: ConcurrentScope,
+    gate: DrainGate,
+    high_water: usize,
+    drain_backstop: Duration,
+    start: Instant,
+    tenants: Vec<Arc<TenantState>>,
+}
+
+impl ServiceCore {
+    fn now_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    fn backlog(&self) -> usize {
+        self.scheduler.injector_len()
+    }
+
+    /// Graceful drain, idempotent across racing callers: flip the gate,
+    /// wait for every gate entry (submitters mid-pipeline + admitted tasks)
+    /// to retire, then wait for transitively spawned children.  Afterwards
+    /// the workers are back in their parked idle loop — "released" in the
+    /// event-driven sense of §12: asleep on the eventcount, not burning
+    /// CPU — and are joined when the service drops.
+    fn drain(&self) -> bool {
+        let initiated = self.gate.begin_drain();
+        self.gate.await_empty(self.drain_backstop);
+        // Gate entries cover admitted root tasks; children spawned *by*
+        // tasks (ctx.spawn) are accounted to the concurrent scope.
+        self.scope.wait_idle();
+        initiated
+    }
+}
+
+/// Releases an admitted task's gate entry and bumps its tenant's completion
+/// counter when the task finishes — **including by panic**: the guard is
+/// dropped during unwind, so a panicking tenant task cannot wedge a drain.
+struct CompletionGuard {
+    core: Arc<ServiceCore>,
+    state: Arc<TenantState>,
+}
+
+impl Drop for CompletionGuard {
+    fn drop(&mut self) {
+        self.state.completed.fetch_add(1, Ordering::Relaxed);
+        self.core.gate.exit();
+    }
+}
+
+/// Outcome of [`TaskService::drain`].
+#[derive(Debug, Clone)]
+pub struct DrainReport {
+    /// `true` for the single caller that initiated the drain; racing and
+    /// repeated calls observe `false` but still wait for completion.
+    pub initiated: bool,
+    /// Final per-tenant counters, in registration order.
+    pub tenants: Vec<(String, TenantStats)>,
+}
+
+impl DrainReport {
+    /// Total admitted tasks over all tenants.
+    pub fn admitted(&self) -> u64 {
+        self.tenants.iter().map(|(_, s)| s.admitted).sum()
+    }
+
+    /// Total completed tasks over all tenants.  Equals
+    /// [`admitted`](Self::admitted) after any drain — the exactly-once
+    /// guarantee.
+    pub fn completed(&self) -> u64 {
+        self.tenants.iter().map(|(_, s)| s.completed).sum()
+    }
+}
+
+/// A long-lived, multi-tenant task service wrapping one persistent
+/// [`Scheduler`].  See the crate docs for the submission pipeline.
+pub struct TaskService {
+    core: Arc<ServiceCore>,
+}
+
+impl TaskService {
+    /// Returns a [`ServiceBuilder`].
+    pub fn builder() -> ServiceBuilder {
+        ServiceBuilder::new()
+    }
+
+    /// Looks up a tenant handle by name.  Handles are cheap to clone and
+    /// safe to share across submitter threads.
+    pub fn tenant(&self, name: &str) -> Option<Tenant> {
+        self.core.tenants.iter().find(|t| t.name == name).map(|t| Tenant {
+            core: Arc::clone(&self.core),
+            state: Arc::clone(t),
+        })
+    }
+
+    /// The wrapped scheduler, for metrics and backlog gauges.
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.core.scheduler
+    }
+
+    /// Current lifecycle state of the service's drain gate.
+    pub fn state(&self) -> GateState {
+        self.core.gate.state()
+    }
+
+    /// Per-tenant counter snapshot, in registration order.
+    pub fn tenant_stats(&self) -> Vec<(String, TenantStats)> {
+        self.core
+            .tenants
+            .iter()
+            .map(|t| (t.name.clone(), t.stats()))
+            .collect()
+    }
+
+    /// Gracefully drains the service: rejects new submissions, runs every
+    /// admitted task (and its transitively spawned children) to completion
+    /// exactly once, and leaves the workers parked.  Blocks until the drain
+    /// is complete; racing and repeated calls all block and return, but
+    /// only the first reports `initiated == true`.  The service accepts no
+    /// work afterwards.
+    pub fn drain(&self) -> DrainReport {
+        let initiated = self.core.drain();
+        DrainReport {
+            initiated,
+            tenants: self.tenant_stats(),
+        }
+    }
+
+    /// Takes the first panic payload raised by a submitted task, if any.
+    /// Task panics never unwind submitters or workers; poll this at drain
+    /// points.
+    pub fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        self.core.scope.take_panic()
+    }
+}
+
+impl Drop for TaskService {
+    /// Drains before the scheduler can shut down.  Running tasks hold
+    /// `Arc`s to the service core (their completion guards), so without
+    /// the drain the last task to finish would drop the core — and join
+    /// the worker pool — from *inside* a worker thread.
+    fn drop(&mut self) {
+        self.core.drain();
+    }
+}
+
+/// A cloneable per-tenant submission handle.  All clones share the
+/// tenant's budget and counters.
+#[derive(Clone)]
+pub struct Tenant {
+    core: Arc<ServiceCore>,
+    state: Arc<TenantState>,
+}
+
+impl Tenant {
+    /// The tenant's registered name.
+    pub fn name(&self) -> &str {
+        &self.state.name
+    }
+
+    /// The tenant's fair-share weight.
+    pub fn weight(&self) -> u64 {
+        self.state.weight
+    }
+
+    /// Counter snapshot for this tenant.
+    pub fn stats(&self) -> TenantStats {
+        self.state.stats()
+    }
+
+    /// Submits a sequential task through the admission pipeline (drain
+    /// gate → overload shed → token budget).  On success the task runs on
+    /// the scheduler exactly once; completion is observable via
+    /// [`stats`](Self::stats) or a drain.
+    pub fn submit<F>(&self, f: F) -> Result<(), SubmitError>
+    where
+        F: FnOnce(&TaskContext<'_>) + Send + 'static,
+    {
+        let guard = self.admit()?;
+        self.core
+            .scope
+            .submit(&self.core.scheduler, move |ctx| {
+                let _guard = guard;
+                f(ctx);
+            });
+        Ok(())
+    }
+
+    /// Submits a data-parallel team task requiring `threads` workers
+    /// through the same admission pipeline.  Admission charges one token
+    /// regardless of `threads`: the budget paces *submissions*; team width
+    /// is capacity the scheduler itself arbitrates.
+    pub fn submit_team<F>(&self, threads: usize, f: F) -> Result<(), SubmitError>
+    where
+        F: Fn(&TaskContext<'_>) + Send + Sync + 'static,
+    {
+        let guard = self.admit()?;
+        self.core
+            .scope
+            .submit_team(&self.core.scheduler, threads, move |ctx| {
+                // Every team member runs the closure; only the one guard
+                // exists, so completion is still counted once (when the
+                // job — and the guard it owns — is dropped after the last
+                // member finishes).
+                let _guard = &guard;
+                f(ctx);
+            });
+        Ok(())
+    }
+
+    /// Runs the admission pipeline and, on success, returns the completion
+    /// guard carrying the gate entry.
+    fn admit(&self) -> Result<CompletionGuard, SubmitError> {
+        self.state.offered.fetch_add(1, Ordering::Relaxed);
+        if !self.core.gate.try_enter() {
+            self.state.drain_rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Draining);
+        }
+        // Shed before spending tokens: under overload the tenant keeps its
+        // budget for when the backlog recedes.
+        if self.core.backlog() > self.core.high_water {
+            self.core.gate.exit();
+            self.state.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Overloaded);
+        }
+        if let Err(err) = self.acquire_token() {
+            self.core.gate.exit();
+            self.state
+                .counter_for(err)
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(err);
+        }
+        self.state.admitted.fetch_add(1, Ordering::Relaxed);
+        Ok(CompletionGuard {
+            core: Arc::clone(&self.core),
+            state: Arc::clone(&self.state),
+        })
+    }
+
+    fn acquire_token(&self) -> Result<(), SubmitError> {
+        match self.state.bucket.try_acquire_at(self.core.now_us()) {
+            Ok(()) => Ok(()),
+            Err(first) => match self.state.policy {
+                AdmissionPolicy::Reject => Err(SubmitError::Backpressure),
+                AdmissionPolicy::Block(max_wait) => {
+                    let deadline = Instant::now() + max_wait;
+                    let mut shortfall = first;
+                    loop {
+                        // A drain must not wait out blocked submitters:
+                        // abort the block as soon as the gate flips.
+                        if self.core.gate.state() != GateState::Open {
+                            return Err(SubmitError::Draining);
+                        }
+                        let now = Instant::now();
+                        if now >= deadline {
+                            return Err(SubmitError::Backpressure);
+                        }
+                        let hint = Duration::from_micros(
+                            self.state.bucket.wait_hint_us(shortfall).max(1),
+                        );
+                        // Cap each nap so the drain/deadline checks stay
+                        // responsive even with huge shortfalls.
+                        std::thread::sleep(
+                            hint.min(deadline - now).min(Duration::from_millis(1)),
+                        );
+                        match self.state.bucket.try_acquire_at(self.core.now_us()) {
+                            Ok(()) => return Ok(()),
+                            Err(s) => shortfall = s,
+                        }
+                    }
+                }
+            },
+        }
+    }
+}
+
+impl TenantState {
+    fn counter_for(&self, err: SubmitError) -> &AtomicU64 {
+        match err {
+            SubmitError::Backpressure => &self.rejected,
+            SubmitError::Overloaded => &self.shed,
+            SubmitError::Draining => &self.drain_rejected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn small_service() -> TaskService {
+        ServiceBuilder::new()
+            .threads(2)
+            .refill_rate(1_000_000)
+            .tenant(TenantConfig::new("t"))
+            .build()
+    }
+
+    #[test]
+    fn submit_runs_and_drain_accounts_exactly_once() {
+        let service = small_service();
+        let tenant = service.tenant("t").unwrap();
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..64 {
+            let hits = Arc::clone(&hits);
+            tenant
+                .submit(move |_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                })
+                .unwrap();
+        }
+        let report = service.drain();
+        assert!(report.initiated);
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+        assert_eq!(report.admitted(), 64);
+        assert_eq!(report.completed(), 64);
+        assert_eq!(service.state(), GateState::Drained);
+        assert_eq!(tenant.submit(|_| {}), Err(SubmitError::Draining));
+        // A second drain is a no-op wait, not a second initiation.
+        assert!(!service.drain().initiated);
+    }
+
+    #[test]
+    fn unknown_tenant_is_none_and_lookup_works() {
+        let service = small_service();
+        assert!(service.tenant("t").is_some());
+        assert!(service.tenant("nope").is_none());
+    }
+
+    #[test]
+    fn backpressure_respects_reject_policy() {
+        let service = ServiceBuilder::new()
+            .threads(1)
+            .refill_rate(1) // 1 task/s: only the burst is admissible
+            .tenant(TenantConfig::new("t").burst(4))
+            .build();
+        let tenant = service.tenant("t").unwrap();
+        let mut admitted = 0;
+        let mut rejected = 0;
+        for _ in 0..32 {
+            match tenant.submit(|_| {}) {
+                Ok(()) => admitted += 1,
+                Err(SubmitError::Backpressure) => rejected += 1,
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        }
+        assert_eq!(admitted, 4, "exactly the burst is admitted");
+        assert_eq!(rejected, 28);
+        let stats = tenant.stats();
+        assert_eq!(stats.offered, 32);
+        assert_eq!(
+            stats.admitted + stats.rejected + stats.shed + stats.drain_rejected,
+            stats.offered,
+            "conservation"
+        );
+    }
+
+    #[test]
+    fn block_policy_paces_instead_of_rejecting() {
+        let service = ServiceBuilder::new()
+            .threads(1)
+            .refill_rate(2_000) // refills fast enough to cover the block bound
+            .tenant(
+                TenantConfig::new("t")
+                    .burst(1)
+                    .policy(AdmissionPolicy::Block(Duration::from_secs(2))),
+            )
+            .build();
+        let tenant = service.tenant("t").unwrap();
+        for _ in 0..8 {
+            tenant.submit(|_| {}).unwrap();
+        }
+        assert_eq!(tenant.stats().rejected, 0);
+        assert_eq!(tenant.stats().admitted, 8);
+    }
+
+    #[test]
+    fn panicking_task_completes_for_accounting_and_surfaces() {
+        let service = small_service();
+        let tenant = service.tenant("t").unwrap();
+        tenant.submit(|_| panic!("tenant bug")).unwrap();
+        let report = service.drain();
+        assert_eq!(report.admitted(), 1);
+        assert_eq!(report.completed(), 1, "panic still retires the task");
+        let payload = service.take_panic().expect("panic payload captured");
+        assert_eq!(*payload.downcast_ref::<&str>().unwrap(), "tenant bug");
+    }
+
+    #[test]
+    fn auto_sized_external_pins_cover_declared_concurrency() {
+        let service = ServiceBuilder::new()
+            .threads(1)
+            .tenant(TenantConfig::new("a").max_concurrency(40))
+            .tenant(TenantConfig::new("b").max_concurrency(24))
+            .build();
+        assert_eq!(service.scheduler().external_pin_slots(), 64);
+        // Few declared submitters still get the scheduler default of 32.
+        let small = ServiceBuilder::new()
+            .threads(1)
+            .tenant(TenantConfig::new("a"))
+            .build();
+        assert_eq!(small.scheduler().external_pin_slots(), 32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_tenant_names_are_rejected() {
+        let _ = ServiceBuilder::new()
+            .tenant(TenantConfig::new("t"))
+            .tenant(TenantConfig::new("t"))
+            .build();
+    }
+}

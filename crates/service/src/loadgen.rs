@@ -1,0 +1,336 @@
+//! Open-loop load generation against a persistent [`TaskService`]
+//! (EXPERIMENTS.md, `service_latency`).
+//!
+//! Closed-loop benchmarks (submit, wait, repeat) can never observe queueing
+//! collapse: the submitter slows down with the system.  The generator here
+//! is **open-loop**: every submitter thread follows an *absolute* arrival
+//! schedule `t_k = start + k·interval` — if the service lags, the submitter
+//! does not slow its clock to match (there is no catch-up sleep), so
+//! backlog, shedding and backpressure appear exactly as they would under
+//! real independent traffic.  Sampled submissions carry a timestamp into
+//! the task closure, which records **submit-to-complete** latency at
+//! completion; p50/p95/p99 come from those samples.
+//!
+//! A second, closed-loop-at-full-throttle phase ([`saturation`]) measures
+//! the service ceiling: submitters push back-to-back under the blocking
+//! policy, and throughput is completed tasks over elapsed time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use teamsteal_core::MetricsSnapshot;
+
+use crate::{AdmissionPolicy, ServiceBuilder, SubmitError, TaskService, TenantConfig, TenantStats};
+
+/// Parameters of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Scheduler worker threads.
+    pub threads: usize,
+    /// Submitter threads (external, outside the worker pool).
+    pub submitters: usize,
+    /// Total offered arrival rate over all submitters, in tasks per second.
+    pub arrival_rate_hz: u64,
+    /// Wall-clock length of the paced phase.
+    pub duration: Duration,
+    /// One tenant per entry, with the given fair-share weight; submitter
+    /// `i` submits through tenant `i % len`.
+    pub tenant_weights: Vec<u64>,
+    /// Admission refill rate in tasks/s per weight unit.
+    pub refill_rate: u64,
+    /// Per-tenant burst allowance in tasks.
+    pub burst: u64,
+    /// Injector-backlog high-water mark (shed threshold).
+    pub high_water: usize,
+    /// Record one submit-to-complete latency sample every this many
+    /// submissions per submitter (1 = every task).
+    pub sample_every: usize,
+    /// Busy work per task in nanoseconds (0 = empty task).
+    pub task_spin_ns: u64,
+}
+
+/// Outcome of [`service_latency`]: aggregate counters plus the sampled
+/// latency population.
+#[derive(Debug, Clone)]
+pub struct LoadgenOutcome {
+    /// Wall time of the paced phase including the final drain.
+    pub elapsed: Duration,
+    /// Sampled submit-to-complete latencies (unordered).
+    pub latencies: Vec<Duration>,
+    /// Final per-tenant counters, in tenant order.
+    pub per_tenant: Vec<(String, TenantStats)>,
+    /// Scheduler-counter totals over the whole run (taken after the drain).
+    pub metrics: MetricsSnapshot,
+}
+
+impl LoadgenOutcome {
+    /// Sums one counter over all tenants.
+    fn total(&self, pick: impl Fn(&TenantStats) -> u64) -> u64 {
+        self.per_tenant.iter().map(|(_, s)| pick(s)).sum()
+    }
+
+    /// Total submissions offered.
+    pub fn offered(&self) -> u64 {
+        self.total(|s| s.offered)
+    }
+
+    /// Total submissions admitted (== completed after the drain).
+    pub fn admitted(&self) -> u64 {
+        self.total(|s| s.admitted)
+    }
+
+    /// Total submissions rejected by token budgets.
+    pub fn backpressure(&self) -> u64 {
+        self.total(|s| s.rejected)
+    }
+
+    /// Total submissions shed by the high-water gate.
+    pub fn shed(&self) -> u64 {
+        self.total(|s| s.shed)
+    }
+
+    /// Per-tenant fairness ratio: admitted share divided by fair
+    /// (weight-proportional) share — 1.0 is perfectly weighted-fair.
+    /// Tenant order matches `per_tenant`; empty if nothing was admitted.
+    pub fn fairness_ratios(&self, weights: &[u64]) -> Vec<f64> {
+        let admitted_total = self.admitted();
+        let weight_total: u64 = weights.iter().sum();
+        if admitted_total == 0 || weight_total == 0 {
+            return Vec::new();
+        }
+        self.per_tenant
+            .iter()
+            .zip(weights)
+            .map(|((_, s), &w)| {
+                let share = s.admitted as f64 / admitted_total as f64;
+                let fair = w as f64 / weight_total as f64;
+                share / fair
+            })
+            .collect()
+    }
+}
+
+/// Outcome of [`saturation`].
+#[derive(Debug, Clone)]
+pub struct SaturationOutcome {
+    /// Tasks completed during the throttle phase.
+    pub completed: u64,
+    /// Wall time including the drain.
+    pub elapsed: Duration,
+    /// Scheduler-counter totals over the whole run (taken after the drain).
+    pub metrics: MetricsSnapshot,
+}
+
+impl SaturationOutcome {
+    /// Sustained completion throughput in tasks per second.
+    pub fn tasks_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.completed as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+fn tenant_name(index: usize) -> String {
+    format!("tenant-{index}")
+}
+
+fn build_service(cfg: &LoadgenConfig, policy: AdmissionPolicy, refill_rate: u64) -> TaskService {
+    let mut builder = ServiceBuilder::new()
+        .threads(cfg.threads)
+        .refill_rate(refill_rate)
+        .high_water(cfg.high_water)
+        // Every submitter uses one pin around every injection; cover them
+        // all so `external_pin_waits` stays 0 (the PR 9 satellite).
+        .external_participants(cfg.submitters.max(32));
+    for (i, &weight) in cfg.tenant_weights.iter().enumerate() {
+        builder = builder.tenant(
+            TenantConfig::new(tenant_name(i))
+                .weight(weight)
+                .burst(cfg.burst)
+                .policy(policy)
+                .max_concurrency(cfg.submitters.div_ceil(cfg.tenant_weights.len())),
+        );
+    }
+    builder.build()
+}
+
+fn spin(ns: u64) {
+    if ns == 0 {
+        return;
+    }
+    let start = Instant::now();
+    while (start.elapsed().as_nanos() as u64) < ns {
+        std::hint::spin_loop();
+    }
+}
+
+/// Runs the paced open-loop phase: `cfg.submitters` threads at a combined
+/// `cfg.arrival_rate_hz` for `cfg.duration`, then drains and reports.
+///
+/// # Panics
+///
+/// Panics on a zero submitter count, arrival rate or tenant list.
+pub fn service_latency(cfg: &LoadgenConfig) -> LoadgenOutcome {
+    assert!(cfg.submitters > 0, "need at least one submitter");
+    assert!(cfg.arrival_rate_hz > 0, "need a positive arrival rate");
+    assert!(!cfg.tenant_weights.is_empty(), "need at least one tenant");
+    let service = build_service(cfg, AdmissionPolicy::Reject, cfg.refill_rate);
+    let run_start = Instant::now();
+    let interval =
+        Duration::from_secs_f64(cfg.submitters as f64 / cfg.arrival_rate_hz as f64);
+    let per_submitter = ((cfg.duration.as_secs_f64() / interval.as_secs_f64()).ceil() as usize).max(1);
+    let sample_every = cfg.sample_every.max(1);
+    let spin_ns = cfg.task_spin_ns;
+    let mut cells: Vec<Vec<Arc<AtomicU64>>> = Vec::with_capacity(cfg.submitters);
+    std::thread::scope(|threads| {
+        for submitter in 0..cfg.submitters {
+            let tenant = service
+                .tenant(&tenant_name(submitter % cfg.tenant_weights.len()))
+                .expect("tenant registered above");
+            let samples = per_submitter.div_ceil(sample_every);
+            let slots: Vec<Arc<AtomicU64>> = (0..samples)
+                .map(|_| Arc::new(AtomicU64::new(u64::MAX)))
+                .collect();
+            cells.push(slots.clone());
+            threads.spawn(move || {
+                // Stagger submitters across one interval so arrivals are
+                // spread, not phase-locked into bursts.
+                let start =
+                    run_start + interval.mul_f64(submitter as f64 / cfg.submitters as f64);
+                for k in 0..per_submitter {
+                    // Absolute schedule: no catch-up sleep when behind —
+                    // that is what makes the loop *open*.
+                    let target = start + interval.mul_f64(k as f64);
+                    let now = Instant::now();
+                    if now < target {
+                        std::thread::sleep(target - now);
+                    }
+                    let submitted = Instant::now();
+                    let result = if k % sample_every == 0 {
+                        let cell = Arc::clone(&slots[k / sample_every]);
+                        tenant.submit(move |_| {
+                            spin(spin_ns);
+                            cell.store(
+                                submitted.elapsed().as_nanos() as u64,
+                                Ordering::Relaxed,
+                            );
+                        })
+                    } else {
+                        tenant.submit(move |_| spin(spin_ns))
+                    };
+                    // Open loop: rejected/shed arrivals are dropped, the
+                    // schedule marches on.
+                    let _ = result;
+                }
+            });
+        }
+    });
+    let report = service.drain();
+    let elapsed = run_start.elapsed();
+    let metrics = service.scheduler().metrics();
+    let latencies = cells
+        .into_iter()
+        .flatten()
+        .filter_map(|cell| {
+            let nanos = cell.load(Ordering::Relaxed);
+            (nanos != u64::MAX).then(|| Duration::from_nanos(nanos))
+        })
+        .collect();
+    LoadgenOutcome {
+        elapsed,
+        latencies,
+        per_tenant: report.tenants,
+        metrics,
+    }
+}
+
+/// Measures the service ceiling: submitters push back-to-back (blocking
+/// briefly on backpressure or shed) for `cfg.duration`, then the service
+/// drains; throughput is completed tasks over total elapsed time.
+pub fn saturation(cfg: &LoadgenConfig) -> SaturationOutcome {
+    assert!(cfg.submitters > 0, "need at least one submitter");
+    assert!(!cfg.tenant_weights.is_empty(), "need at least one tenant");
+    // An effectively unthrottled budget: the ceiling under test is the
+    // scheduler + injection path, not the admission layer.
+    let service = build_service(
+        cfg,
+        AdmissionPolicy::Block(Duration::from_millis(50)),
+        u64::MAX / (1 << 24),
+    );
+    let start = Instant::now();
+    std::thread::scope(|threads| {
+        for submitter in 0..cfg.submitters {
+            let tenant = service
+                .tenant(&tenant_name(submitter % cfg.tenant_weights.len()))
+                .expect("tenant registered above");
+            let duration = cfg.duration;
+            let spin_ns = cfg.task_spin_ns;
+            threads.spawn(move || {
+                while start.elapsed() < duration {
+                    match tenant.submit(move |_| spin(spin_ns)) {
+                        Ok(()) | Err(SubmitError::Backpressure) => {}
+                        // Shed: the backlog is at the high-water mark, so
+                        // completion (not submission) is the bottleneck;
+                        // yield and retry.
+                        Err(SubmitError::Overloaded) => std::thread::yield_now(),
+                        Err(SubmitError::Draining) => return,
+                    }
+                }
+            });
+        }
+    });
+    let report = service.drain();
+    let elapsed = start.elapsed();
+    SaturationOutcome {
+        completed: report.completed(),
+        elapsed,
+        metrics: service.scheduler().metrics(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> LoadgenConfig {
+        LoadgenConfig {
+            threads: 2,
+            submitters: 2,
+            arrival_rate_hz: 2_000,
+            duration: Duration::from_millis(100),
+            tenant_weights: vec![1, 1],
+            refill_rate: 100_000,
+            burst: 64,
+            high_water: 1 << 16,
+            sample_every: 4,
+            task_spin_ns: 0,
+        }
+    }
+
+    #[test]
+    fn paced_run_completes_everything_it_admits() {
+        let outcome = service_latency(&tiny_config());
+        assert!(outcome.offered() > 0);
+        assert_eq!(
+            outcome.admitted(),
+            outcome.total(|s| s.completed),
+            "drain means admitted == completed"
+        );
+        assert!(!outcome.latencies.is_empty(), "sampling produced latencies");
+        let ratios = outcome.fairness_ratios(&[1, 1]);
+        assert_eq!(ratios.len(), 2);
+    }
+
+    #[test]
+    fn saturation_reports_positive_throughput() {
+        let mut cfg = tiny_config();
+        cfg.duration = Duration::from_millis(50);
+        let outcome = saturation(&cfg);
+        assert!(outcome.completed > 0);
+        assert!(outcome.tasks_per_sec() > 0.0);
+    }
+}
