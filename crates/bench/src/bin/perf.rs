@@ -999,6 +999,16 @@ fn sweep_team_build(opts: &Options) -> Vec<RunRecord> {
 /// (admitted share ÷ weight share; 1.0 is perfectly weighted-fair) in
 /// `extra`.  The `service_saturation` record measures the closed-loop
 /// completion ceiling and reports it as `saturation_tasks_per_sec`.
+///
+/// The `service_overload_2x` record (PR 10) is the graceful-degradation
+/// demonstration: with heavier tasks the cell first measures that
+/// configuration's saturation ceiling, then offers **2×** that rate with a
+/// per-task deadline, a high-water mark too large to shed and an admission
+/// budget too large to backpressure — so *stale-work expiry* is the only
+/// defense.  Goodput (completions within deadline per second) must hold
+/// near the at-saturation reference while `tasks_expired` absorbs the
+/// excess; the same 2× run without deadlines shows the collapse being
+/// avoided (timely completions crater even though raw throughput holds).
 fn sweep_service(opts: &Options) -> Vec<RunRecord> {
     use teamsteal_service::loadgen::{saturation, service_latency, LoadgenConfig};
     // Weighted tenants so the fairness ratios exercise the non-trivial
@@ -1032,6 +1042,7 @@ fn sweep_service(opts: &Options) -> Vec<RunRecord> {
             high_water: 1 << 15,
             sample_every,
             task_spin_ns: 500,
+            deadline: None,
         };
         let paced = service_latency(&cfg);
         let mut stats = RunStats::new();
@@ -1118,8 +1129,125 @@ fn sweep_service(opts: &Options) -> Vec<RunRecord> {
             seq_reference_s: None,
             speedup_vs_seq: None,
         });
+
+        records.push(overload_2x_record(&cfg, paced_duration, threads));
     }
     records
+}
+
+/// Measures the `service_overload_2x` cell described in [`sweep_service`]'s
+/// docs and packages it as one record whose samples are the overload run's
+/// sampled latencies.
+fn overload_2x_record(
+    base_cfg: &teamsteal_service::loadgen::LoadgenConfig,
+    paced_duration: Duration,
+    threads: usize,
+) -> RunRecord {
+    use teamsteal_service::loadgen::{saturation, service_latency};
+    let deadline = Duration::from_millis(20);
+    // Heavier tasks (20 µs of work) pull the ceiling low enough that the
+    // open-loop submitters can genuinely offer twice it; an effectively
+    // unbounded admission budget and high-water mark take shedding and
+    // backpressure out of the picture, leaving expiry as the only defense.
+    let mut over_cfg = base_cfg.clone();
+    over_cfg.task_spin_ns = 20_000;
+    over_cfg.refill_rate = u64::MAX / (1 << 24);
+    over_cfg.burst = 1 << 20;
+    over_cfg.high_water = 1 << 22;
+    over_cfg.duration = paced_duration;
+
+    let mut probe_cfg = over_cfg.clone();
+    probe_cfg.duration = paced_duration / 2;
+    let ceiling = saturation(&probe_cfg).tasks_per_sec();
+    let sat_rate = (ceiling as u64).max(1_000);
+    let sample_for = |rate: u64| {
+        let offered = rate as f64 * paced_duration.as_secs_f64();
+        ((offered / 512.0) as usize).max(1)
+    };
+
+    // At-saturation goodput reference, with the same deadline.
+    over_cfg.deadline = Some(deadline);
+    over_cfg.arrival_rate_hz = sat_rate;
+    over_cfg.sample_every = sample_for(sat_rate);
+    let at_sat = service_latency(&over_cfg);
+    let goodput_sat = at_sat.goodput_per_sec().unwrap_or(0.0);
+
+    // 2× overload with deadlines: the record under test.
+    let mut cfg_2x = over_cfg.clone();
+    cfg_2x.arrival_rate_hz = sat_rate * 2;
+    cfg_2x.sample_every = sample_for(sat_rate * 2);
+    let over = service_latency(&cfg_2x);
+    let goodput_2x = over.goodput_per_sec().unwrap_or(0.0);
+
+    // The same 2× offered load *without* deadlines: raw completion
+    // throughput holds (every admitted task eventually runs), but timely
+    // completions collapse.  Estimated from the unbiased latency samples:
+    // (fraction of samples within the deadline) × completions per second.
+    let mut raw_cfg = cfg_2x.clone();
+    raw_cfg.deadline = None;
+    let raw = service_latency(&raw_cfg);
+    let raw_completed: u64 = raw.per_tenant.iter().map(|(_, s)| s.completed).sum();
+    let raw_tasks_per_sec = raw_completed as f64 / raw.elapsed.as_secs_f64().max(1e-9);
+    let timely_fraction = if raw.latencies.is_empty() {
+        0.0
+    } else {
+        raw.latencies.iter().filter(|l| **l <= deadline).count() as f64
+            / raw.latencies.len() as f64
+    };
+    let raw_timely_per_sec = raw_tasks_per_sec * timely_fraction;
+
+    let mut stats = RunStats::new();
+    for latency in &over.latencies {
+        stats.record(*latency);
+    }
+    eprintln!(
+        "overload| p = {threads:>2} | sat {:>8.0}/s | goodput@1x {:>8.0}/s | goodput@2x {:>8.0}/s | expired {} | no-deadline timely {:>8.0}/s",
+        ceiling,
+        goodput_sat,
+        goodput_2x,
+        over.metrics.tasks_expired,
+        raw_timely_per_sec,
+    );
+    RunRecord {
+        group: "service_latency".into(),
+        name: "service_overload_2x".into(),
+        distribution: None,
+        size: (sat_rate * 2) as usize,
+        threads,
+        warmups: 0,
+        repetitions: over.latencies.len(),
+        secs: TimingSummary::from_stats(&stats),
+        extra: Some(JsonValue::Object(vec![
+            ("deadline_ms".into(), JsonValue::Number(20.0)),
+            ("saturation_tasks_per_sec".into(), JsonValue::Number(ceiling)),
+            ("offered".into(), JsonValue::Number(over.offered() as f64)),
+            ("admitted".into(), JsonValue::Number(over.admitted() as f64)),
+            (
+                "goodput_at_saturation_per_sec".into(),
+                JsonValue::Number(goodput_sat),
+            ),
+            ("goodput_per_sec".into(), JsonValue::Number(goodput_2x)),
+            (
+                "deadline_miss_rate".into(),
+                JsonValue::Number(over.deadline_miss_rate().unwrap_or(0.0)),
+            ),
+            (
+                "tasks_expired".into(),
+                JsonValue::Number(over.metrics.tasks_expired as f64),
+            ),
+            (
+                "no_deadline_tasks_per_sec".into(),
+                JsonValue::Number(raw_tasks_per_sec),
+            ),
+            (
+                "no_deadline_timely_per_sec".into(),
+                JsonValue::Number(raw_timely_per_sec),
+            ),
+        ])),
+        metrics: over.metrics,
+        seq_reference_s: None,
+        speedup_vs_seq: None,
+    }
 }
 
 /// Re-measures the checked variant (MMPar) at the baseline's recorded

@@ -513,10 +513,11 @@ impl TimingSummary {
 /// subsystem (PR 5); `injector_local_pops`, `injector_remote_pops` and
 /// `external_pin_waits` with the sharded injector (PR 6); `teams_built`,
 /// `team_reuses`, `team_shrinks`, `steals_local` and `steals_remote` with
-/// moldable teams and the topology-biased fallback scan (PR 8).  The parser
-/// defaults absent counters to zero so reports written by earlier harnesses
-/// stay readable.
-const METRIC_FIELDS: [&str; 27] = [
+/// moldable teams and the topology-biased fallback scan (PR 8);
+/// `tasks_expired`, `tasks_cancelled` and `retry_attempts` with the
+/// deadline/cancellation/retry layer (PR 10).  The parser defaults absent
+/// counters to zero so reports written by earlier harnesses stay readable.
+const METRIC_FIELDS: [&str; 30] = [
     "tasks_executed",
     "team_tasks_executed",
     "teams_formed",
@@ -544,6 +545,9 @@ const METRIC_FIELDS: [&str; 27] = [
     "team_shrinks",
     "steals_local",
     "steals_remote",
+    "tasks_expired",
+    "tasks_cancelled",
+    "retry_attempts",
 ];
 
 /// Key of the wake-latency histogram inside the metrics object: one count
@@ -580,6 +584,9 @@ fn metrics_to_json(m: &MetricsSnapshot) -> JsonValue {
         m.team_shrinks,
         m.steals_local,
         m.steals_remote,
+        m.tasks_expired,
+        m.tasks_cancelled,
+        m.retry_attempts,
     ];
     let mut pairs: Vec<(String, JsonValue)> = METRIC_FIELDS
         .iter()
@@ -652,6 +659,9 @@ fn metrics_from_json(value: &JsonValue) -> Result<MetricsSnapshot, String> {
         team_shrinks: optional_field("team_shrinks"),
         steals_local: optional_field("steals_local"),
         steals_remote: optional_field("steals_remote"),
+        tasks_expired: optional_field("tasks_expired"),
+        tasks_cancelled: optional_field("tasks_cancelled"),
+        retry_attempts: optional_field("retry_attempts"),
         wake_latency,
     })
 }
@@ -1317,6 +1327,51 @@ mod tests {
             assert_eq!(record.metrics.team_shrinks, 0);
             assert_eq!(record.metrics.steals_local, 0);
             assert_eq!(record.metrics.steals_remote, 0);
+            // The pre-existing counters survived the strip.
+            assert_eq!(record.metrics.steals, 17);
+            assert_eq!(record.metrics.teams_formed, 3);
+        }
+        // And a defaulted report round-trips stably.
+        assert_eq!(
+            Report::from_json_str(&parsed.to_json_string()).unwrap(),
+            parsed
+        );
+    }
+
+    #[test]
+    fn pre_cancellation_baselines_parse_with_defaulted_metrics() {
+        // A record written before PR 10 carries none of the
+        // deadline/cancellation counters: strip them from a fresh record and
+        // the parser must default all of them to zero (so PR 9-era committed
+        // baselines keep working as `--check` inputs).
+        let report = sample_report(0.010);
+        let text = report.to_json_string();
+        let mut value = JsonValue::parse(&text).unwrap();
+        if let JsonValue::Object(pairs) = &mut value {
+            if let Some((_, JsonValue::Array(records))) =
+                pairs.iter_mut().find(|(k, _)| k == "records")
+            {
+                for record in records {
+                    if let JsonValue::Object(fields) = record {
+                        if let Some((_, JsonValue::Object(metrics))) =
+                            fields.iter_mut().find(|(k, _)| k == "metrics")
+                        {
+                            metrics.retain(|(k, _)| {
+                                !matches!(
+                                    k.as_str(),
+                                    "tasks_expired" | "tasks_cancelled" | "retry_attempts"
+                                )
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        let parsed = Report::from_json_str(&value.render()).expect("old schema parses");
+        for record in &parsed.records {
+            assert_eq!(record.metrics.tasks_expired, 0);
+            assert_eq!(record.metrics.tasks_cancelled, 0);
+            assert_eq!(record.metrics.retry_attempts, 0);
             // The pre-existing counters survived the strip.
             assert_eq!(record.metrics.steals, 17);
             assert_eq!(record.metrics.teams_formed, 3);

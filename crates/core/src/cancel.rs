@@ -1,0 +1,126 @@
+//! Cooperative cancellation: the lock-free claim-to-run cell
+//! (DESIGN.md §17).
+//!
+//! A [`CancelCell`] is the decided-race arbiter between "this task runs"
+//! and "this task is dropped without running".  It is a three-state
+//! machine over one atomic word:
+//!
+//! ```text
+//!            cancel()                try_claim()
+//! Pending ─────────────▶ Cancelled   Pending ─────────────▶ Claimed
+//! ```
+//!
+//! Both transitions are single CASes out of `Pending`, and `Cancelled`
+//! and `Claimed` are terminal, so exactly one of the two ever wins: a
+//! task either executes (its runner won the claim CAS) or is dropped
+//! (the canceller won, or the runner observed the cancellation and
+//! retired the node), never both and never neither.  The exhaustive
+//! interleaving proof lives in `crates/model/tests/cancel_model.rs`,
+//! which is why the cell's atomic comes from the `teamsteal_util::sync`
+//! shim rather than `std` directly.
+//!
+//! Deadlines deliberately do **not** live in the cell: a task's deadline
+//! is plain immutable data on the `TaskNode`, checked by whichever worker
+//! exclusively owns the node at pop/claim time (node ownership transfers
+//! linearly through the deques, so no two threads ever race on the
+//! deadline check).  Only *external* cancellation — a caller thread
+//! racing the executing worker — needs the CAS; the expiry path merely
+//! settles the cell to `Cancelled` so a late `cancel()` or `is_finished`
+//! observer sees a coherent terminal state.
+
+use teamsteal_util::sync::atomic::{AtomicU32, Ordering};
+
+const PENDING: u32 = 0;
+const CANCELLED: u32 = 1;
+const CLAIMED: u32 = 2;
+
+/// Lock-free Pending → Cancelled/Claimed cell deciding the run-vs-cancel
+/// race for one task.  See the module docs.
+#[derive(Debug)]
+pub struct CancelCell {
+    state: AtomicU32,
+}
+
+impl Default for CancelCell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CancelCell {
+    /// Creates a cell in the `Pending` state.
+    pub fn new() -> Self {
+        CancelCell {
+            state: AtomicU32::new(PENDING),
+        }
+    }
+
+    /// Requests cancellation.  Returns `true` if this call won the race —
+    /// the task is then guaranteed never to run.  Returns `false` when the
+    /// task was already claimed for execution (it runs, or is running, or
+    /// ran) or was already cancelled by an earlier call.
+    ///
+    /// The acquire on failure pairs with the claimer's release, so a caller
+    /// that observes `Claimed` also observes every write the claimer made
+    /// before the CAS.
+    pub fn cancel(&self) -> bool {
+        self.state
+            .compare_exchange(PENDING, CANCELLED, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Claims the task for execution.  Returns `true` for the single caller
+    /// that may run it; `false` means the task was cancelled first and must
+    /// be retired without running.  Called exactly once per task, by the
+    /// worker that owns the node at execution time.
+    pub fn try_claim(&self) -> bool {
+        self.state
+            .compare_exchange(PENDING, CLAIMED, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// `true` once a `cancel()` has won the race (the task will never run).
+    pub fn is_cancelled(&self) -> bool {
+        self.state.load(Ordering::Acquire) == CANCELLED
+    }
+
+    /// `true` once a runner has claimed the task (cancellation can no
+    /// longer prevent execution).
+    pub fn is_claimed(&self) -> bool {
+        self.state.load(Ordering::Acquire) == CLAIMED
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claim_then_cancel_fails() {
+        let cell = CancelCell::new();
+        assert!(!cell.is_cancelled());
+        assert!(cell.try_claim());
+        assert!(cell.is_claimed());
+        assert!(!cell.cancel(), "cancel after claim must lose");
+        assert!(!cell.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_then_claim_fails() {
+        let cell = CancelCell::new();
+        assert!(cell.cancel());
+        assert!(cell.is_cancelled());
+        assert!(!cell.try_claim(), "claim after cancel must lose");
+        assert!(!cell.is_claimed());
+    }
+
+    #[test]
+    fn transitions_are_exactly_once() {
+        let cell = CancelCell::new();
+        assert!(cell.cancel());
+        assert!(!cell.cancel(), "second cancel does not win again");
+        let cell = CancelCell::new();
+        assert!(cell.try_claim());
+        assert!(!cell.try_claim(), "second claim does not win again");
+    }
+}

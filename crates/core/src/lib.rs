@@ -66,6 +66,7 @@
 //! | [`scheduler`] | [`Scheduler`], [`SchedulerBuilder`], [`Scope`] |
 //! | [`config`] | [`SchedulerConfig`], [`StealAmount`] |
 //! | [`task`] | the [`Job`] trait and internal task nodes |
+//! | [`cancel`] | the lock-free [`CancelCell`] claim-to-run arbiter (DESIGN.md §17) |
 //! | [`context`] | [`TaskContext`] passed to every running task |
 //! | [`team`] | [`TeamBarrier`] for intra-team synchronization |
 //! | [`metrics`] | execution counters |
@@ -74,6 +75,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod config;
 pub mod context;
 pub mod metrics;
@@ -83,6 +85,7 @@ pub mod task;
 pub mod team;
 mod worker;
 
+pub use cancel::CancelCell;
 pub use config::{SchedulerConfig, StealAmount};
 pub use context::TaskContext;
 pub use metrics::{MetricsSnapshot, WakeLatencyHistogram};

@@ -106,6 +106,13 @@ pub struct WorkerCounters {
     /// Parks that ended through the backstop timeout.  (Almost) zero in
     /// healthy runs; growth means a state change forgot its notify call.
     pub spurious_wakes: AtomicU64,
+    /// Tasks this worker dropped without running because their deadline had
+    /// already passed when the worker picked them up (DESIGN.md §17).  The
+    /// scope countdown and completion accounting still fire exactly once.
+    pub tasks_expired: AtomicU64,
+    /// Tasks this worker dropped without running because their cancel token
+    /// was cancelled before the claim-to-run CAS (DESIGN.md §17).
+    pub tasks_cancelled: AtomicU64,
     /// Histogram of notification-to-wake latencies for parks that were
     /// explicitly claimed by a notifier (bucket bounds:
     /// [`WAKE_LATENCY_BOUNDS_US`]).
@@ -274,6 +281,18 @@ impl WorkerCounters {
         Self::bump(&self.spurious_wakes);
     }
 
+    /// Increments the deadline-expiry drop counter.
+    #[inline]
+    pub fn inc_tasks_expired(&self) {
+        Self::bump(&self.tasks_expired);
+    }
+
+    /// Increments the cancelled-drop counter.
+    #[inline]
+    pub fn inc_tasks_cancelled(&self) {
+        Self::bump(&self.tasks_cancelled);
+    }
+
     /// Records one notification-to-wake latency sample.
     #[inline]
     pub fn record_wake_latency(&self, latency: Duration) {
@@ -310,6 +329,9 @@ impl WorkerCounters {
             parks: self.parks.load(Ordering::Relaxed),
             wakeups: self.wakeups.load(Ordering::Relaxed),
             spurious_wakes: self.spurious_wakes.load(Ordering::Relaxed),
+            tasks_expired: self.tasks_expired.load(Ordering::Relaxed),
+            tasks_cancelled: self.tasks_cancelled.load(Ordering::Relaxed),
+            retry_attempts: 0,
             wake_latency: WakeLatencyHistogram {
                 buckets: std::array::from_fn(|i| self.wake_latency[i].load(Ordering::Relaxed)),
             },
@@ -439,6 +461,16 @@ pub struct MetricsSnapshot {
     /// Parks ended by the defensive backstop timeout ((almost) zero in
     /// healthy runs).
     pub spurious_wakes: u64,
+    /// Tasks dropped without running because their deadline had passed when
+    /// a worker picked them up (DESIGN.md §17).
+    pub tasks_expired: u64,
+    /// Tasks dropped without running because their cancel token lost the
+    /// claim-to-run race (DESIGN.md §17).
+    pub tasks_cancelled: u64,
+    /// Admission retries performed by the service layer's `RetryPolicy`
+    /// (always zero in per-worker snapshots; filled in by the service
+    /// report/load-generator aggregation, like `external_pin_waits`).
+    pub retry_attempts: u64,
     /// Notification-to-wake latency histogram for claimed parks.
     pub wake_latency: WakeLatencyHistogram,
 }
@@ -484,6 +516,9 @@ impl MetricsSnapshot {
             parks: self.parks + other.parks,
             wakeups: self.wakeups + other.wakeups,
             spurious_wakes: self.spurious_wakes + other.spurious_wakes,
+            tasks_expired: self.tasks_expired + other.tasks_expired,
+            tasks_cancelled: self.tasks_cancelled + other.tasks_cancelled,
+            retry_attempts: self.retry_attempts + other.retry_attempts,
             wake_latency: self.wake_latency.merge(other.wake_latency),
         }
     }
@@ -551,6 +586,9 @@ impl MetricsSnapshot {
             parks: self.parks.saturating_sub(earlier.parks),
             wakeups: self.wakeups.saturating_sub(earlier.wakeups),
             spurious_wakes: self.spurious_wakes.saturating_sub(earlier.spurious_wakes),
+            tasks_expired: self.tasks_expired.saturating_sub(earlier.tasks_expired),
+            tasks_cancelled: self.tasks_cancelled.saturating_sub(earlier.tasks_cancelled),
+            retry_attempts: self.retry_attempts.saturating_sub(earlier.retry_attempts),
             wake_latency: self.wake_latency.delta_since(&earlier.wake_latency),
         }
     }
@@ -616,6 +654,8 @@ mod tests {
         c.inc_parks();
         c.inc_wakeups();
         c.inc_spurious_wakes();
+        c.inc_tasks_expired();
+        c.inc_tasks_cancelled();
         c.record_wake_latency(Duration::from_micros(2));
         let s = c.snapshot();
         assert_eq!(
@@ -648,6 +688,9 @@ mod tests {
                 parks: 1,
                 wakeups: 1,
                 spurious_wakes: 1,
+                tasks_expired: 1,
+                tasks_cancelled: 1,
+                retry_attempts: 0,
                 wake_latency: WakeLatencyHistogram {
                     buckets: [0, 1, 0, 0, 0, 0, 0, 0],
                 },

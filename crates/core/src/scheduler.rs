@@ -6,6 +6,7 @@ use std::thread::JoinHandle;
 
 use teamsteal_topology::{StealPolicy, Topology};
 
+use crate::cancel::CancelCell;
 use crate::config::{SchedulerConfig, StealAmount};
 use crate::context::TaskContext;
 use crate::metrics::MetricsSnapshot;
@@ -723,11 +724,53 @@ impl ConcurrentScope {
         self.submit_concrete(scheduler, TeamJob::moldable(min, max, f));
     }
 
+    /// Submits a sequential root task with a cancellation cell and/or an
+    /// absolute deadline attached (DESIGN.md §17).  A worker that picks the
+    /// task up after `cancel.cancel()` won the claim race, or after
+    /// `deadline` has passed, drops it **without running it** — the scope
+    /// countdown and the closure's captured state (e.g. a completion guard)
+    /// are still retired exactly once.
+    pub fn submit_cancellable<F>(
+        &self,
+        scheduler: &Scheduler,
+        cancel: Option<Arc<CancelCell>>,
+        deadline: Option<std::time::Instant>,
+        f: F,
+    ) where
+        F: FnOnce(&TaskContext<'_>) + Send + 'static,
+    {
+        let job = OnceJob::new(f);
+        let requirement = job.requirement();
+        let requirement_min = job.requirement_min();
+        scheduler.check_requirement(requirement, requirement_min);
+        let node = TaskNode::allocate_boxed(
+            JobSlot::new(job),
+            requirement,
+            requirement_min,
+            Arc::clone(&self.state),
+        );
+        // SAFETY: between `allocate_boxed` and `inject` this thread is the
+        // node's exclusive owner; the injector's release/acquire handoff
+        // publishes the fields to the popping worker.
+        unsafe {
+            (*node).cancel = cancel;
+            (*node).deadline = deadline;
+        }
+        scheduler.shared.inject(node);
+    }
+
     /// Number of submitted tasks (including their transitively spawned
     /// children) that have not finished yet.  A point-in-time gauge: with
     /// concurrent submitters it can be stale immediately.
     pub fn pending(&self) -> usize {
         self.state.pending()
+    }
+
+    /// Total task panics recorded against this scope over its lifetime,
+    /// including payloads dropped because an earlier panic already occupied
+    /// the [`take_panic`](Self::take_panic) slot.
+    pub fn panics_observed(&self) -> u64 {
+        self.state.panics_observed()
     }
 
     /// Blocks until every task accounted to this scope — submitted directly

@@ -28,6 +28,7 @@ use std::sync::{Arc, Condvar, Mutex};
 
 use teamsteal_util::slab::{Recycle, Slab};
 
+use crate::cancel::CancelCell;
 use crate::context::TaskContext;
 use crate::team::TeamBarrier;
 
@@ -251,6 +252,10 @@ pub struct ScopeState {
     /// re-thrown by `Scheduler::scope` after all tasks have drained, so a
     /// panicking task aborts the scope instead of wedging the scheduler.
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Total panics recorded over the scope's lifetime.  Only the *first*
+    /// payload is kept for re-throwing; this counter makes the silently
+    /// dropped rest diagnosable (surfaced through `ServiceReport`).
+    panics_observed: AtomicUsize,
 }
 
 impl ScopeState {
@@ -260,15 +265,25 @@ impl ScopeState {
             lock: Mutex::new(()),
             cv: Condvar::new(),
             panic: Mutex::new(None),
+            panics_observed: AtomicUsize::new(0),
         })
     }
 
-    /// Records the payload of a panicking task (first one wins).
+    /// Records the payload of a panicking task (first one wins; every call
+    /// is counted in [`panics_observed`](Self::panics_observed)).
     pub(crate) fn record_panic(&self, payload: Box<dyn std::any::Any + Send>) {
+        self.panics_observed.fetch_add(1, Ordering::Relaxed);
         let mut slot = self.panic.lock().expect("scope panic slot poisoned");
         if slot.is_none() {
             *slot = Some(payload);
         }
+    }
+
+    /// Total panics recorded over the scope's lifetime, including those
+    /// whose payloads were dropped because an earlier panic already
+    /// occupied the re-throw slot.
+    pub(crate) fn panics_observed(&self) -> u64 {
+        self.panics_observed.load(Ordering::Relaxed) as u64
     }
 
     /// Takes the recorded panic payload, if any.
@@ -355,6 +370,18 @@ pub struct TaskNode {
     /// Team members that have not yet finished running this task.  The last
     /// one to decrement frees the node and notifies the scope.
     pub(crate) participants: AtomicU32,
+    /// Claim-to-run arbiter for cancellable tasks (DESIGN.md §17), shared
+    /// with the submitter's cancel token.  `None` (the default for every
+    /// internal spawn path) keeps the hot paths free of cancellation
+    /// checks.  Written only while the submitter exclusively owns the node
+    /// (between allocation and injection); the injector handoff publishes
+    /// it.
+    pub(crate) cancel: Option<Arc<CancelCell>>,
+    /// Absolute deadline after which the task is dropped without running
+    /// (DESIGN.md §17).  Plain data: checked only by the worker that
+    /// exclusively owns the node at pop/claim time, so no atomicity is
+    /// needed.  `None` for every internal spawn path.
+    pub(crate) deadline: Option<std::time::Instant>,
 }
 
 // SAFETY: the UnsafeCell fields are written only by the coordinating worker
@@ -395,6 +422,8 @@ impl TaskNode {
             team_size: UnsafeCell::new(1),
             barrier: UnsafeCell::new(None),
             participants: AtomicU32::new(1),
+            cancel: None,
+            deadline: None,
         }
     }
 
@@ -490,6 +519,18 @@ mod tests {
         released.store(true, Ordering::SeqCst);
         scope.task_finished();
         assert!(waiter.join().unwrap(), "wait returned before task finished");
+    }
+
+    #[test]
+    fn record_panic_counts_every_payload_but_keeps_the_first() {
+        let scope = ScopeState::new();
+        assert_eq!(scope.panics_observed(), 0);
+        scope.record_panic(Box::new("first"));
+        scope.record_panic(Box::new("second"));
+        assert_eq!(scope.panics_observed(), 2);
+        let payload = scope.take_panic().expect("first payload kept");
+        assert_eq!(*payload.downcast::<&str>().unwrap(), "first");
+        assert!(scope.take_panic().is_none(), "later payloads are dropped");
     }
 
     #[test]

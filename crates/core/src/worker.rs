@@ -897,6 +897,9 @@ impl Worker {
     }
 
     fn run_singleton(&mut self, ptr: *mut TaskNode) {
+        if !self.claim_for_run(ptr) {
+            return;
+        }
         // SAFETY: the node stays alive until the last participant (here: only
         // us) finishes it.
         let node = unsafe { &*ptr };
@@ -934,6 +937,69 @@ impl Worker {
             // it.  The node returns to its home arena (or the heap).
             unsafe { TaskNode::release(ptr) };
             scope.task_finished();
+        }
+    }
+
+    /// Drops `ptr` without running it when its cancel token was cancelled
+    /// or its deadline has passed (DESIGN.md §17), retiring the scope
+    /// countdown, the job's captured state (and with it any service
+    /// completion guard) and the node's memory exactly once through
+    /// `finish_node`.  Returns `true` when the node was retired.  The
+    /// caller must be the node's exclusive owner (it popped the node and
+    /// has not re-published it), so the deadline read is race-free.
+    fn retire_if_stale(&self, ptr: *mut TaskNode) -> bool {
+        // SAFETY: the caller owns the node.
+        let node = unsafe { &*ptr };
+        if node.cancel.is_none() && node.deadline.is_none() {
+            return false;
+        }
+        if let Some(cell) = &node.cancel {
+            if cell.is_cancelled() {
+                self.me().counters.inc_tasks_cancelled();
+                self.finish_node(ptr);
+                return true;
+            }
+        }
+        if let Some(deadline) = node.deadline {
+            if std::time::Instant::now() >= deadline {
+                // Settle the cell so a late `cancel()`/`is_finished`
+                // observer sees a coherent terminal state.  Losing this
+                // CAS to a racing `cancel()` still drops the task; only
+                // the expired-vs-cancelled attribution is best-effort in
+                // that one window.
+                if let Some(cell) = &node.cancel {
+                    cell.cancel();
+                }
+                self.me().counters.inc_tasks_expired();
+                self.finish_node(ptr);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The claim-to-run gate (DESIGN.md §17): run by the owning worker
+    /// immediately before executing a singleton or publishing a team task.
+    /// Returns `true` when the task may run; `false` when it was cancelled
+    /// or expired and has been retired without running.  The claim CAS
+    /// makes run-vs-cancel a decided race: once it succeeds, a concurrent
+    /// `cancel()` observes `Claimed` and returns false; once a `cancel()`
+    /// wins, the claim here fails and the task never runs.
+    fn claim_for_run(&self, ptr: *mut TaskNode) -> bool {
+        if self.retire_if_stale(ptr) {
+            return false;
+        }
+        // SAFETY: the caller owns the node.
+        let node = unsafe { &*ptr };
+        match &node.cancel {
+            Some(cell) if !cell.try_claim() => {
+                // A `cancel()` won between the staleness probe and the
+                // claim — the decided race resolved against running.
+                self.me().counters.inc_tasks_cancelled();
+                self.finish_node(ptr);
+                false
+            }
+            _ => true,
         }
     }
 
@@ -1117,6 +1183,12 @@ impl Worker {
     /// coordinator's share.
     fn execute_team_task_as_coordinator(&mut self, ptr: *mut TaskNode, base: usize, team_size: usize) {
         debug_assert!(team_size >= 2);
+        // Claim before the team descriptor is written or published: members
+        // only ever see already-claimed tasks, so the cancel race is decided
+        // while the coordinator still owns the node exclusively.
+        if !self.claim_for_run(ptr) {
+            return;
+        }
         let me = self.id;
         // SAFETY: the node is alive; we are the only thread that can publish
         // it (it came out of our own queue) and no member can see it before
@@ -1903,6 +1975,19 @@ impl Worker {
                     self.me().counters.inc_injector_local_pops();
                 } else {
                     self.me().counters.inc_injector_remote_pops();
+                }
+                // Stale-work expiry (DESIGN.md §17): a task whose deadline
+                // passed (or whose token was cancelled) while it queued is
+                // dropped here, before it costs a deque slot, a team or an
+                // execution — the pop already made us its exclusive owner.
+                if self.retire_if_stale(ptr) {
+                    if self.shared.injector.shard_len(shard) > 0 {
+                        self.shared.sleep.notify_work_near(
+                            self.shared.domains.domain_range(shard),
+                            self.searching,
+                        );
+                    }
+                    return true;
                 }
                 // SAFETY: the node is alive while it sits in the injector.
                 let req_max = unsafe { (*ptr).requirement };

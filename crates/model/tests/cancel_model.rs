@@ -1,0 +1,188 @@
+//! Model-checked tests for the cancellation claim-to-run cell
+//! (`DESIGN.md` §17).
+//!
+//! The protocol under test is the real one: [`CancelCell`] is built on the
+//! `teamsteal_util::sync` shim, so under `--cfg teamsteal_model` its CASes
+//! run on the explorer's virtual atomics and every interleaving of a
+//! canceller against the worker that owns the node is enumerated.  The
+//! invariants are the run-XOR-drop guarantee the scheduler relies on:
+//!
+//! 1. **Run XOR drop**: on every schedule the task either executes exactly
+//!    once or is retired without running exactly once — never both, never
+//!    neither.
+//! 2. **Exactly-once retirement**: the scope countdown (`finish_node`'s
+//!    `participants` decrement in the real scheduler) fires exactly once
+//!    regardless of which side won.
+//! 3. **Cancel is a guarantee**: when `cancel()` returns `true` (it
+//!    observed the cell un-`Claimed` and won the CAS), the task never runs.
+//!
+//! Both races from the worker loop are covered: *cancel vs pop* (the
+//! canceller against the exclusive owner claiming at `pop`/`run_singleton`
+//! time) and *cancel vs steal* (the canceller against two workers racing
+//! for node ownership through the deque, the winner of which claim-gates).
+//!
+//! Run with `RUSTFLAGS='--cfg teamsteal_model' cargo test -p teamsteal-model`.
+#![cfg(teamsteal_model)]
+
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex as StdMutex};
+
+use teamsteal_core::CancelCell;
+use teamsteal_model::{thread, Builder};
+use teamsteal_util::sync::atomic::{AtomicUsize, Ordering};
+
+/// The worker-side claim gate, shaped exactly like
+/// `worker::claim_for_run` + `finish_node`: claim, then run or drop, then
+/// retire the node exactly once either way.  Returns `(ran, dropped)`.
+fn claim_and_retire(
+    cell: &CancelCell,
+    runs: &AtomicUsize,
+    drops: &AtomicUsize,
+    countdown: &AtomicUsize,
+) -> bool {
+    let ran = if cell.try_claim() {
+        runs.fetch_add(1, Ordering::SeqCst);
+        true
+    } else {
+        // Cancelled first: retire without running.
+        drops.fetch_add(1, Ordering::SeqCst);
+        false
+    };
+    // `finish_node`: the scope countdown fires on both paths, once.
+    let prev = countdown.fetch_sub(1, Ordering::SeqCst);
+    assert_eq!(prev, 1, "scope countdown fired more than once");
+    ran
+}
+
+/// Cancel vs pop: one worker exclusively owns the node (it popped it from
+/// its own deque or the injector) and claim-gates before running, while
+/// the submitter's thread races `cancel()`.  On every interleaving the
+/// task runs XOR is dropped, the countdown fires exactly once, and a
+/// winning `cancel()` means the task never ran.
+#[test]
+fn cancel_vs_pop_runs_xor_drops() {
+    let seen: Arc<StdMutex<BTreeSet<&'static str>>> = Arc::default();
+    let seen_in = Arc::clone(&seen);
+    Builder::new().preemption_bound(2).check(move || {
+        let cell = Arc::new(CancelCell::new());
+        let runs = Arc::new(AtomicUsize::new(0));
+        let drops = Arc::new(AtomicUsize::new(0));
+        let countdown = Arc::new(AtomicUsize::new(1));
+
+        let worker = {
+            let cell = Arc::clone(&cell);
+            let runs = Arc::clone(&runs);
+            let drops = Arc::clone(&drops);
+            let countdown = Arc::clone(&countdown);
+            thread::spawn(move || claim_and_retire(&cell, &runs, &drops, &countdown))
+        };
+        let canceller = {
+            let cell = Arc::clone(&cell);
+            thread::spawn(move || cell.cancel())
+        };
+
+        let ran = worker.join().unwrap();
+        let cancel_won = canceller.join().unwrap();
+
+        let runs = runs.load(Ordering::SeqCst);
+        let drops = drops.load(Ordering::SeqCst);
+        // Invariant 1: run XOR drop.
+        assert_eq!(runs + drops, 1, "task must run or drop exactly once");
+        // Invariant 2: the countdown reached zero (each fire asserts it was
+        // the first inside `claim_and_retire`).
+        assert_eq!(countdown.load(Ordering::SeqCst), 0);
+        // Invariant 3: a winning cancel() is a never-ran guarantee, and the
+        // decided race is coherent from both sides.
+        assert_eq!(cancel_won, !ran, "exactly one side wins the CAS race");
+        if cancel_won {
+            assert_eq!(runs, 0, "task ran although cancel() won");
+            assert!(cell.is_cancelled());
+        } else {
+            assert!(cell.is_claimed());
+        }
+        seen_in
+            .lock()
+            .unwrap()
+            .insert(if ran { "ran" } else { "dropped" });
+    });
+    // The exploration must have reached both outcomes of the race,
+    // otherwise it never actually interleaved the CASes.
+    let seen = seen.lock().unwrap();
+    for outcome in ["ran", "dropped"] {
+        assert!(
+            seen.contains(outcome),
+            "exploration never produced a schedule where the task {outcome}: {seen:?}"
+        );
+    }
+}
+
+/// Cancel vs steal: two workers race a CAS for ownership of the node (the
+/// linearization point of the deque handoff — only one thread ever owns a
+/// node), the winner claim-gates exactly like the pop path, and the
+/// canceller races both.  On every interleaving exactly one worker touches
+/// the cell, the task runs XOR drops, and the countdown fires once.
+#[test]
+fn cancel_vs_steal_runs_xor_drops() {
+    let seen: Arc<StdMutex<BTreeSet<&'static str>>> = Arc::default();
+    let seen_in = Arc::clone(&seen);
+    Builder::new().preemption_bound(2).check(move || {
+        let cell = Arc::new(CancelCell::new());
+        let runs = Arc::new(AtomicUsize::new(0));
+        let drops = Arc::new(AtomicUsize::new(0));
+        let countdown = Arc::new(AtomicUsize::new(1));
+        // The node's single ownership slot: 0 = in the deque, 1 = taken.
+        // Stealing is a CAS on this slot; the loser never sees the node.
+        let owner = Arc::new(AtomicUsize::new(0));
+
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let runs = Arc::clone(&runs);
+                let drops = Arc::clone(&drops);
+                let countdown = Arc::clone(&countdown);
+                let owner = Arc::clone(&owner);
+                thread::spawn(move || {
+                    if owner
+                        .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire)
+                        .is_err()
+                    {
+                        // Lost the steal: never touches the node again.
+                        return None;
+                    }
+                    Some(claim_and_retire(&cell, &runs, &drops, &countdown))
+                })
+            })
+            .collect();
+        let canceller = {
+            let cell = Arc::clone(&cell);
+            thread::spawn(move || cell.cancel())
+        };
+
+        let outcomes: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+        let cancel_won = canceller.join().unwrap();
+
+        // Exactly one worker won the steal race…
+        assert_eq!(outcomes.iter().filter(|o| o.is_some()).count(), 1);
+        let ran = outcomes.into_iter().flatten().next().unwrap();
+        // …and the owner's claim gate decided run-vs-drop exactly once.
+        let runs = runs.load(Ordering::SeqCst);
+        let drops = drops.load(Ordering::SeqCst);
+        assert_eq!(runs + drops, 1, "task must run or drop exactly once");
+        assert_eq!(countdown.load(Ordering::SeqCst), 0);
+        assert_eq!(cancel_won, !ran, "exactly one side wins the CAS race");
+        if cancel_won {
+            assert_eq!(runs, 0, "task ran although cancel() won");
+        }
+        seen_in
+            .lock()
+            .unwrap()
+            .insert(if ran { "ran" } else { "dropped" });
+    });
+    let seen = seen.lock().unwrap();
+    for outcome in ["ran", "dropped"] {
+        assert!(
+            seen.contains(outcome),
+            "exploration never produced a schedule where the task {outcome}: {seen:?}"
+        );
+    }
+}

@@ -38,7 +38,7 @@
 
 use std::time::Duration;
 
-use teamsteal_util::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use teamsteal_util::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use teamsteal_util::sync::{Condvar, Mutex};
 
 /// Lifecycle of a [`DrainGate`].
@@ -62,6 +62,14 @@ pub struct DrainGate {
     state: AtomicU32,
     /// Submissions mid-pipeline plus admitted tasks not yet completed.
     in_flight: AtomicUsize,
+    /// Times the drainer's backstop timeout fired with work still in
+    /// flight (i.e. the defensive `wait_timeout` did real waiting instead
+    /// of being woken by the final exit).  Mirrors the §12 eventcount
+    /// backstop counter.  Fires are *expected* when a drain overlaps tasks
+    /// that outlast the backstop duration; what would indicate a
+    /// lost-notification bug is the counter growing while `in_flight`
+    /// holds steady at a small value with no long task running.
+    backstops: AtomicU64,
     lock: Mutex<()>,
     cv: Condvar,
 }
@@ -78,6 +86,7 @@ impl DrainGate {
         DrainGate {
             state: AtomicU32::new(OPEN),
             in_flight: AtomicUsize::new(0),
+            backstops: AtomicU64::new(0),
             lock: Mutex::new(()),
             cv: Condvar::new(),
         }
@@ -131,11 +140,18 @@ impl DrainGate {
     pub fn await_empty(&self, backstop: Duration) {
         let mut guard = self.lock.lock().expect("drain gate lock poisoned");
         while self.in_flight.load(Ordering::SeqCst) != 0 {
-            let (g, _timeout) = self
+            let (g, timeout) = self
                 .cv
                 .wait_timeout(guard, backstop)
                 .expect("drain gate lock poisoned");
             guard = g;
+            // Count backstop fires that did real work: the timeout elapsed
+            // and in-flight work remained, so this iteration re-parks
+            // instead of exiting.  Spurious timed-out wakes racing the
+            // final exit (in_flight already 0) are not backstops.
+            if timeout.timed_out() && self.in_flight.load(Ordering::SeqCst) != 0 {
+                self.backstops.fetch_add(1, Ordering::Relaxed);
+            }
         }
         drop(guard);
         self.state.store(DRAINED, Ordering::SeqCst);
@@ -153,6 +169,13 @@ impl DrainGate {
     /// Current `in_flight` count (point-in-time; may be stale immediately).
     pub fn in_flight(&self) -> usize {
         self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Number of drainer backstop-timeout fires that found work still in
+    /// flight (see the field docs for how to read it).  Surfaced through
+    /// `TaskService::report`.
+    pub fn backstops(&self) -> u64 {
+        self.backstops.load(Ordering::Relaxed)
     }
 }
 
@@ -200,5 +223,19 @@ mod tests {
         assert_eq!(gate.in_flight(), 0);
         assert_eq!(gate.state(), GateState::Drained);
         worker.join().unwrap();
+        // The 5 ms backstop fired at least once during the 20 ms wait with
+        // the entry still in flight, and the counter saw it.
+        assert!(gate.backstops() >= 1, "backstop fires are counted");
+    }
+
+    #[test]
+    fn uncontended_drain_counts_no_backstops() {
+        let gate = DrainGate::new();
+        assert!(gate.try_enter());
+        gate.exit();
+        assert!(gate.begin_drain());
+        gate.await_empty(Duration::from_millis(10));
+        assert_eq!(gate.state(), GateState::Drained);
+        assert_eq!(gate.backstops(), 0, "nothing in flight, nothing to back stop");
     }
 }

@@ -51,15 +51,17 @@
 pub mod admission;
 pub mod gate;
 pub mod loadgen;
+pub mod retry;
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use teamsteal_core::{ConcurrentScope, Scheduler, TaskContext};
+use teamsteal_core::{CancelCell, ConcurrentScope, MetricsSnapshot, Scheduler, TaskContext};
 
 use admission::TokenBucket;
 use gate::{DrainGate, GateState};
+pub use retry::RetryPolicy;
 
 /// What a tenant's excess submissions (beyond its refilled token budget)
 /// experience.
@@ -110,12 +112,13 @@ pub struct TenantConfig {
     burst: u64,
     policy: AdmissionPolicy,
     max_concurrency: usize,
+    default_deadline: Option<Duration>,
 }
 
 impl TenantConfig {
     /// A tenant with weight 1, a 32-task burst allowance, the fail-fast
-    /// [`AdmissionPolicy::Reject`], and an expected submission concurrency
-    /// of 4 threads.
+    /// [`AdmissionPolicy::Reject`], an expected submission concurrency
+    /// of 4 threads and no default deadline.
     pub fn new(name: impl Into<String>) -> Self {
         TenantConfig {
             name: name.into(),
@@ -123,7 +126,18 @@ impl TenantConfig {
             burst: 32,
             policy: AdmissionPolicy::Reject,
             max_concurrency: 4,
+            default_deadline: None,
         }
+    }
+
+    /// Default per-task deadline, applied to every [`Tenant::submit_with`]
+    /// submission that does not set its own `SubmitOptions::deadline`.
+    /// Tasks still queued when their deadline passes are dropped without
+    /// running (counted as `tasks_expired`); plain [`Tenant::submit`]
+    /// ignores the default — an SLO is something a tenant opts into.
+    pub fn default_deadline(mut self, deadline: Duration) -> Self {
+        self.default_deadline = Some(deadline);
+        self
     }
 
     /// Relative share of the service's admission budget: the tenant's
@@ -271,12 +285,14 @@ impl ServiceBuilder {
                     bucket: TokenBucket::new(self.refill_rate, t.weight, t.burst),
                     weight: t.weight,
                     policy: t.policy,
+                    default_deadline: t.default_deadline,
                     offered: AtomicU64::new(0),
                     admitted: AtomicU64::new(0),
                     rejected: AtomicU64::new(0),
                     shed: AtomicU64::new(0),
                     drain_rejected: AtomicU64::new(0),
                     completed: AtomicU64::new(0),
+                    retry_attempts: AtomicU64::new(0),
                 })
             })
             .collect();
@@ -314,8 +330,15 @@ pub struct TenantStats {
     /// ([`SubmitError::Draining`]).
     pub drain_rejected: u64,
     /// Admitted tasks that have finished executing (panicking tasks
-    /// count: their completion guard runs during unwind).
+    /// count: their completion guard runs during unwind).  Tasks dropped
+    /// without running — cancelled or expired — also count: retirement
+    /// runs their completion guard.
     pub completed: u64,
+    /// Submission attempts beyond each call's first, performed by
+    /// [`Tenant::submit_with`] retry schedules.  Every retry is also a
+    /// fresh `offered` submission, so the conservation invariant is
+    /// untouched.
+    pub retry_attempts: u64,
 }
 
 struct TenantState {
@@ -323,12 +346,14 @@ struct TenantState {
     bucket: TokenBucket,
     weight: u64,
     policy: AdmissionPolicy,
+    default_deadline: Option<Duration>,
     offered: AtomicU64,
     admitted: AtomicU64,
     rejected: AtomicU64,
     shed: AtomicU64,
     drain_rejected: AtomicU64,
     completed: AtomicU64,
+    retry_attempts: AtomicU64,
 }
 
 impl TenantState {
@@ -340,6 +365,7 @@ impl TenantState {
             shed: self.shed.load(Ordering::Relaxed),
             drain_rejected: self.drain_rejected.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
+            retry_attempts: self.retry_attempts.load(Ordering::Relaxed),
         }
     }
 }
@@ -385,13 +411,158 @@ impl ServiceCore {
 struct CompletionGuard {
     core: Arc<ServiceCore>,
     state: Arc<TenantState>,
+    /// `TaskHandle::is_finished` flag for `submit_with` submissions.
+    /// Flipped on drop, so it covers every way a task retires: ran,
+    /// panicked, cancelled, or expired.
+    finished: Option<Arc<AtomicBool>>,
 }
 
 impl Drop for CompletionGuard {
     fn drop(&mut self) {
+        if let Some(finished) = &self.finished {
+            finished.store(true, Ordering::Release);
+        }
         self.state.completed.fetch_add(1, Ordering::Relaxed);
         self.core.gate.exit();
     }
+}
+
+/// A cloneable cancellation token for one task (wraps the core's
+/// lock-free [`CancelCell`]).  Obtained from a [`TaskHandle`] or created
+/// up front with [`CancelToken::new`] and passed in via
+/// [`SubmitOptions::cancel_token`] — e.g. one shared token fanned out
+/// over a batch so a single `cancel()` sweeps the whole batch.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    cell: Arc<CancelCell>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation.  Returns `true` if this call won the
+    /// run-vs-cancel race: the task is then guaranteed never to execute
+    /// (it is dropped at pop/claim time and counted as `tasks_cancelled`).
+    /// Returns `false` when the task was already claimed for execution or
+    /// already cancelled.
+    pub fn cancel(&self) -> bool {
+        self.cell.cancel()
+    }
+
+    /// `true` once a `cancel()` call has won the race.
+    pub fn is_cancelled(&self) -> bool {
+        self.cell.is_cancelled()
+    }
+}
+
+/// Per-submission options for [`Tenant::submit_with`].  The `Default`
+/// value is equivalent to plain [`Tenant::submit`] except that the tenant's
+/// [`TenantConfig::default_deadline`] applies.
+#[derive(Debug, Clone, Default)]
+pub struct SubmitOptions {
+    /// Relative deadline: a task still queued this long after submission
+    /// is dropped without running (`tasks_expired`).  `None` falls back to
+    /// the tenant's default deadline (and to "no deadline" if the tenant
+    /// has none).
+    pub deadline: Option<Duration>,
+    /// An externally created token, e.g. one shared across a batch.
+    /// `None` gives the task its own fresh token, reachable through the
+    /// returned [`TaskHandle`].
+    pub cancel_token: Option<CancelToken>,
+    /// Retry schedule for admission failures ([`SubmitError::Backpressure`]
+    /// / [`SubmitError::Overloaded`]).  `None` fails fast on the first
+    /// error, like plain [`Tenant::submit`].
+    pub retry: Option<RetryPolicy>,
+}
+
+impl SubmitOptions {
+    /// Options with no deadline override, no shared token and no retry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the relative deadline.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Supplies a shared cancellation token.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel_token = Some(token);
+        self
+    }
+
+    /// Sets the retry schedule.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+}
+
+/// Handle to one [`Tenant::submit_with`] submission.
+pub struct TaskHandle {
+    token: CancelToken,
+    finished: Arc<AtomicBool>,
+}
+
+impl TaskHandle {
+    /// Requests cancellation; see [`CancelToken::cancel`] for the race
+    /// semantics.
+    pub fn cancel(&self) -> bool {
+        self.token.cancel()
+    }
+
+    /// `true` once the task has retired: ran to completion, panicked, was
+    /// cancelled, or expired.  Distinguish via
+    /// [`is_cancelled`](Self::is_cancelled): a finished, uncancelled task
+    /// executed.
+    pub fn is_finished(&self) -> bool {
+        self.finished.load(Ordering::Acquire)
+    }
+
+    /// `true` once a `cancel()` call (through this handle or any clone of
+    /// its token) won the run-vs-cancel race.
+    pub fn is_cancelled(&self) -> bool {
+        self.token.is_cancelled()
+    }
+
+    /// The task's cancellation token (cheap to clone and share).
+    pub fn token(&self) -> CancelToken {
+        self.token.clone()
+    }
+}
+
+/// Point-in-time health snapshot from [`TaskService::report`]: the SLO
+/// counters plus the two "should stay zero" robustness gauges.  Unlike
+/// [`DrainReport`] this can be taken at any time, not just at shutdown.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Current drain-gate lifecycle state.
+    pub state: GateState,
+    /// Submissions mid-pipeline plus admitted tasks not yet retired.
+    pub in_flight: usize,
+    /// Times the drainer's defensive backstop timeout fired with work
+    /// still in flight (see [`gate::DrainGate::backstops`]).  Fires are
+    /// normal when a drain overlaps tasks outlasting the backstop; growth
+    /// with no long task running would signal a lost drain notification.
+    pub gate_backstops: u64,
+    /// Total task panics observed, including the ones whose payloads were
+    /// dropped because an earlier panic's payload was still held (only the
+    /// *first* payload is kept for [`TaskService::take_panic`]).
+    pub panics_observed: u64,
+    /// Tasks dropped without running because their deadline passed.
+    pub tasks_expired: u64,
+    /// Tasks dropped without running because their token was cancelled.
+    pub tasks_cancelled: u64,
+    /// Retry attempts performed by [`Tenant::submit_with`] schedules,
+    /// summed over tenants.
+    pub retry_attempts: u64,
+    /// Per-tenant counters, in registration order.
+    pub tenants: Vec<(String, TenantStats)>,
 }
 
 /// Outcome of [`TaskService::drain`].
@@ -478,6 +649,35 @@ impl TaskService {
     pub fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send>> {
         self.core.scope.take_panic()
     }
+
+    /// Aggregated scheduler metrics with the service-plane
+    /// `retry_attempts` counter filled in (the scheduler's own snapshot
+    /// always carries it as zero — retries happen above the injector).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut metrics = self.core.scheduler.metrics();
+        metrics.retry_attempts = self
+            .core
+            .tenants
+            .iter()
+            .map(|t| t.retry_attempts.load(Ordering::Relaxed))
+            .sum();
+        metrics
+    }
+
+    /// Point-in-time health snapshot; see [`ServiceReport`].
+    pub fn report(&self) -> ServiceReport {
+        let metrics = self.metrics();
+        ServiceReport {
+            state: self.core.gate.state(),
+            in_flight: self.core.gate.in_flight(),
+            gate_backstops: self.core.gate.backstops(),
+            panics_observed: self.core.scope.panics_observed(),
+            tasks_expired: metrics.tasks_expired,
+            tasks_cancelled: metrics.tasks_cancelled,
+            retry_attempts: metrics.retry_attempts,
+            tenants: self.tenant_stats(),
+        }
+    }
 }
 
 impl Drop for TaskService {
@@ -554,40 +754,107 @@ impl Tenant {
         Ok(())
     }
 
+    /// Submits a sequential task with per-submission SLO options: a
+    /// deadline (explicit or the tenant default), an optional shared
+    /// cancellation token, and an optional admission retry schedule.
+    /// Returns a [`TaskHandle`] for cancelling and observing the task.
+    ///
+    /// The deadline clock starts at *submission* (before any retry
+    /// sleeps): an SLO measures the caller's wait, not the queue's.  A
+    /// task whose deadline passes while it is still queued is dropped
+    /// without running and counted as `tasks_expired`; its completion
+    /// guard still runs, so drains and accounting never wedge on expired
+    /// work.
+    pub fn submit_with<F>(&self, opts: SubmitOptions, f: F) -> Result<TaskHandle, SubmitError>
+    where
+        F: FnOnce(&TaskContext<'_>) + Send + 'static,
+    {
+        let deadline = opts
+            .deadline
+            .or(self.state.default_deadline)
+            .map(|d| Instant::now() + d);
+        let token = opts.cancel_token.unwrap_or_default();
+        let finished = Arc::new(AtomicBool::new(false));
+        let mut f = Some(f);
+        let mut attempt = || -> Result<(), (SubmitError, Option<Duration>)> {
+            let guard = self.admit_with(Some(Arc::clone(&finished)))?;
+            let job = f.take().expect("one success consumes the closure");
+            self.core.scope.submit_cancellable(
+                &self.core.scheduler,
+                Some(Arc::clone(&token.cell)),
+                deadline,
+                move |ctx| {
+                    let _guard = guard;
+                    job(ctx);
+                },
+            );
+            Ok(())
+        };
+        let result = match &opts.retry {
+            None => attempt().map_err(|(err, _)| err),
+            Some(policy) => {
+                let (result, retries) =
+                    retry::run_with_retry(policy, std::thread::sleep, attempt);
+                self.state
+                    .retry_attempts
+                    .fetch_add(retries, Ordering::Relaxed);
+                result
+            }
+        };
+        result.map(|()| TaskHandle { token, finished })
+    }
+
     /// Runs the admission pipeline and, on success, returns the completion
     /// guard carrying the gate entry.
     fn admit(&self) -> Result<CompletionGuard, SubmitError> {
+        self.admit_with(None).map_err(|(err, _)| err)
+    }
+
+    /// [`admit`](Self::admit) with the `is_finished` flag threaded into
+    /// the guard and, on failure, the admission layer's wait hint (how
+    /// long until the refill law could cover the shortfall) threaded out
+    /// for retry schedules.
+    fn admit_with(
+        &self,
+        finished: Option<Arc<AtomicBool>>,
+    ) -> Result<CompletionGuard, (SubmitError, Option<Duration>)> {
         self.state.offered.fetch_add(1, Ordering::Relaxed);
         if !self.core.gate.try_enter() {
             self.state.drain_rejected.fetch_add(1, Ordering::Relaxed);
-            return Err(SubmitError::Draining);
+            return Err((SubmitError::Draining, None));
         }
         // Shed before spending tokens: under overload the tenant keeps its
         // budget for when the backlog recedes.
         if self.core.backlog() > self.core.high_water {
             self.core.gate.exit();
             self.state.shed.fetch_add(1, Ordering::Relaxed);
-            return Err(SubmitError::Overloaded);
+            return Err((SubmitError::Overloaded, None));
         }
-        if let Err(err) = self.acquire_token() {
+        if let Err((err, hint)) = self.acquire_token() {
             self.core.gate.exit();
             self.state
                 .counter_for(err)
                 .fetch_add(1, Ordering::Relaxed);
-            return Err(err);
+            return Err((err, hint));
         }
         self.state.admitted.fetch_add(1, Ordering::Relaxed);
         Ok(CompletionGuard {
             core: Arc::clone(&self.core),
             state: Arc::clone(&self.state),
+            finished,
         })
     }
 
-    fn acquire_token(&self) -> Result<(), SubmitError> {
+    fn acquire_token(&self) -> Result<(), (SubmitError, Option<Duration>)> {
+        let hint = |shortfall| {
+            Some(Duration::from_micros(
+                self.state.bucket.wait_hint_us(shortfall).max(1),
+            ))
+        };
         match self.state.bucket.try_acquire_at(self.core.now_us()) {
             Ok(()) => Ok(()),
             Err(first) => match self.state.policy {
-                AdmissionPolicy::Reject => Err(SubmitError::Backpressure),
+                AdmissionPolicy::Reject => Err((SubmitError::Backpressure, hint(first))),
                 AdmissionPolicy::Block(max_wait) => {
                     let deadline = Instant::now() + max_wait;
                     let mut shortfall = first;
@@ -595,19 +862,19 @@ impl Tenant {
                         // A drain must not wait out blocked submitters:
                         // abort the block as soon as the gate flips.
                         if self.core.gate.state() != GateState::Open {
-                            return Err(SubmitError::Draining);
+                            return Err((SubmitError::Draining, None));
                         }
                         let now = Instant::now();
                         if now >= deadline {
-                            return Err(SubmitError::Backpressure);
+                            return Err((SubmitError::Backpressure, hint(shortfall)));
                         }
-                        let hint = Duration::from_micros(
+                        let nap = Duration::from_micros(
                             self.state.bucket.wait_hint_us(shortfall).max(1),
                         );
                         // Cap each nap so the drain/deadline checks stay
                         // responsive even with huge shortfalls.
                         std::thread::sleep(
-                            hint.min(deadline - now).min(Duration::from_millis(1)),
+                            nap.min(deadline - now).min(Duration::from_millis(1)),
                         );
                         match self.state.bucket.try_acquire_at(self.core.now_us()) {
                             Ok(()) => return Ok(()),
@@ -639,7 +906,9 @@ mod tests {
         ServiceBuilder::new()
             .threads(2)
             .refill_rate(1_000_000)
-            .tenant(TenantConfig::new("t"))
+            // Cover the largest burst a test submits back-to-back: in
+            // release builds the submit loop outruns even a 1M/s refill.
+            .tenant(TenantConfig::new("t").burst(64))
             .build()
     }
 

@@ -21,7 +21,10 @@ use std::time::{Duration, Instant};
 
 use teamsteal_core::MetricsSnapshot;
 
-use crate::{AdmissionPolicy, ServiceBuilder, SubmitError, TaskService, TenantConfig, TenantStats};
+use crate::{
+    AdmissionPolicy, ServiceBuilder, SubmitError, SubmitOptions, TaskService, TenantConfig,
+    TenantStats,
+};
 
 /// Parameters of one load-generation run.
 #[derive(Debug, Clone)]
@@ -48,6 +51,12 @@ pub struct LoadgenConfig {
     pub sample_every: usize,
     /// Busy work per task in nanoseconds (0 = empty task).
     pub task_spin_ns: u64,
+    /// Per-task deadline for the paced phase.  When set, every submission
+    /// goes through the SLO path (`Tenant::submit_with`): tasks still
+    /// queued past the deadline are dropped without running
+    /// (`tasks_expired`), and the outcome gains *goodput* — completions
+    /// within their deadline per second — and a deadline-miss rate.
+    pub deadline: Option<Duration>,
 }
 
 /// Outcome of [`service_latency`]: aggregate counters plus the sampled
@@ -60,8 +69,15 @@ pub struct LoadgenOutcome {
     pub latencies: Vec<Duration>,
     /// Final per-tenant counters, in tenant order.
     pub per_tenant: Vec<(String, TenantStats)>,
-    /// Scheduler-counter totals over the whole run (taken after the drain).
+    /// Scheduler-counter totals over the whole run (taken after the drain),
+    /// with the service-plane `retry_attempts` counter filled in.
     pub metrics: MetricsSnapshot,
+    /// The per-task deadline the run was configured with, if any.
+    pub deadline: Option<Duration>,
+    /// Tasks that *executed and completed within their deadline* — the
+    /// goodput numerator.  Zero (and meaningless) in runs without a
+    /// deadline.
+    pub in_deadline: u64,
 }
 
 impl LoadgenOutcome {
@@ -88,6 +104,26 @@ impl LoadgenOutcome {
     /// Total submissions shed by the high-water gate.
     pub fn shed(&self) -> u64 {
         self.total(|s| s.shed)
+    }
+
+    /// Goodput: tasks that completed within their deadline, per second of
+    /// wall time.  The graceful-degradation figure of merit — under
+    /// overload, raw completion throughput can stay flat while every
+    /// completion is a stale, past-deadline answer; goodput only counts
+    /// answers that were still worth computing.  `None` without a deadline.
+    pub fn goodput_per_sec(&self) -> Option<f64> {
+        self.deadline?;
+        let secs = self.elapsed.as_secs_f64();
+        (secs > 0.0).then(|| self.in_deadline as f64 / secs)
+    }
+
+    /// Fraction of *admitted* tasks that missed their deadline: expired in
+    /// the queue (dropped without running) or completed late.  `None`
+    /// without a deadline or with nothing admitted.
+    pub fn deadline_miss_rate(&self) -> Option<f64> {
+        self.deadline?;
+        let admitted = self.admitted();
+        (admitted > 0).then(|| (admitted - self.in_deadline.min(admitted)) as f64 / admitted as f64)
     }
 
     /// Per-tenant fairness ratio: admitted share divided by fair
@@ -185,6 +221,8 @@ pub fn service_latency(cfg: &LoadgenConfig) -> LoadgenOutcome {
     let per_submitter = ((cfg.duration.as_secs_f64() / interval.as_secs_f64()).ceil() as usize).max(1);
     let sample_every = cfg.sample_every.max(1);
     let spin_ns = cfg.task_spin_ns;
+    let deadline = cfg.deadline;
+    let in_deadline_total = Arc::new(AtomicU64::new(0));
     let mut cells: Vec<Vec<Arc<AtomicU64>>> = Vec::with_capacity(cfg.submitters);
     std::thread::scope(|threads| {
         for submitter in 0..cfg.submitters {
@@ -196,6 +234,7 @@ pub fn service_latency(cfg: &LoadgenConfig) -> LoadgenOutcome {
                 .map(|_| Arc::new(AtomicU64::new(u64::MAX)))
                 .collect();
             cells.push(slots.clone());
+            let in_deadline_total = Arc::clone(&in_deadline_total);
             threads.spawn(move || {
                 // Stagger submitters across one interval so arrivals are
                 // spread, not phase-locked into bursts.
@@ -210,17 +249,43 @@ pub fn service_latency(cfg: &LoadgenConfig) -> LoadgenOutcome {
                         std::thread::sleep(target - now);
                     }
                     let submitted = Instant::now();
-                    let result = if k % sample_every == 0 {
-                        let cell = Arc::clone(&slots[k / sample_every]);
-                        tenant.submit(move |_| {
-                            spin(spin_ns);
-                            cell.store(
-                                submitted.elapsed().as_nanos() as u64,
-                                Ordering::Relaxed,
-                            );
-                        })
-                    } else {
-                        tenant.submit(move |_| spin(spin_ns))
+                    let sample_cell =
+                        (k % sample_every == 0).then(|| Arc::clone(&slots[k / sample_every]));
+                    let result = match deadline {
+                        // SLO path: queue-expired tasks are dropped by the
+                        // workers; tasks that do run self-classify their
+                        // completion against the deadline for goodput.
+                        Some(deadline) => {
+                            let counter = Arc::clone(&in_deadline_total);
+                            tenant
+                                .submit_with(
+                                    SubmitOptions::new().deadline(deadline),
+                                    move |_| {
+                                        spin(spin_ns);
+                                        let elapsed = submitted.elapsed();
+                                        if elapsed <= deadline {
+                                            counter.fetch_add(1, Ordering::Relaxed);
+                                        }
+                                        if let Some(cell) = sample_cell {
+                                            cell.store(
+                                                elapsed.as_nanos() as u64,
+                                                Ordering::Relaxed,
+                                            );
+                                        }
+                                    },
+                                )
+                                .map(|_handle| ())
+                        }
+                        None => match sample_cell {
+                            Some(cell) => tenant.submit(move |_| {
+                                spin(spin_ns);
+                                cell.store(
+                                    submitted.elapsed().as_nanos() as u64,
+                                    Ordering::Relaxed,
+                                );
+                            }),
+                            None => tenant.submit(move |_| spin(spin_ns)),
+                        },
                     };
                     // Open loop: rejected/shed arrivals are dropped, the
                     // schedule marches on.
@@ -231,7 +296,7 @@ pub fn service_latency(cfg: &LoadgenConfig) -> LoadgenOutcome {
     });
     let report = service.drain();
     let elapsed = run_start.elapsed();
-    let metrics = service.scheduler().metrics();
+    let metrics = service.metrics();
     let latencies = cells
         .into_iter()
         .flatten()
@@ -245,6 +310,8 @@ pub fn service_latency(cfg: &LoadgenConfig) -> LoadgenOutcome {
         latencies,
         per_tenant: report.tenants,
         metrics,
+        deadline,
+        in_deadline: in_deadline_total.load(Ordering::Relaxed),
     }
 }
 
@@ -288,7 +355,7 @@ pub fn saturation(cfg: &LoadgenConfig) -> SaturationOutcome {
     SaturationOutcome {
         completed: report.completed(),
         elapsed,
-        metrics: service.scheduler().metrics(),
+        metrics: service.metrics(),
     }
 }
 
@@ -308,6 +375,7 @@ mod tests {
             high_water: 1 << 16,
             sample_every: 4,
             task_spin_ns: 0,
+            deadline: None,
         }
     }
 
@@ -323,6 +391,22 @@ mod tests {
         assert!(!outcome.latencies.is_empty(), "sampling produced latencies");
         let ratios = outcome.fairness_ratios(&[1, 1]);
         assert_eq!(ratios.len(), 2);
+    }
+
+    #[test]
+    fn deadline_run_measures_goodput() {
+        let mut cfg = tiny_config();
+        // Generous deadline at trivial load: everything lands in time.
+        cfg.deadline = Some(Duration::from_secs(10));
+        let outcome = service_latency(&cfg);
+        assert!(outcome.admitted() > 0);
+        assert_eq!(outcome.in_deadline, outcome.admitted());
+        assert_eq!(outcome.deadline_miss_rate(), Some(0.0));
+        assert!(outcome.goodput_per_sec().unwrap() > 0.0);
+        // No deadline → the goodput accessors stay honest about it.
+        let plain = service_latency(&tiny_config());
+        assert_eq!(plain.goodput_per_sec(), None);
+        assert_eq!(plain.deadline_miss_rate(), None);
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! Bounded, jittered exponential backoff for admission retries
+//! (DESIGN.md §17).
+//!
+//! PR 9 left every closed-loop caller hand-rolling the same loop: submit,
+//! observe [`SubmitError::Backpressure`], sleep "a bit", try again.  A
+//! [`RetryPolicy`] packages that loop with three properties the hand-rolled
+//! versions kept getting subtly wrong (the proptests in this module pin
+//! each one down):
+//!
+//! 1. **Bounded**: at most `max_attempts` submission attempts ever run —
+//!    the schedule cannot spin forever against a saturated bucket.
+//! 2. **Backoff with a floor**: the pre-jitter delay doubles per attempt
+//!    within `[base, cap]`, and each sleep honors the admission layer's
+//!    wait hint (the token bucket knows *exactly* when the refill law can
+//!    cover the shortfall; sleeping less than that is guaranteed-futile
+//!    spinning).
+//! 3. **Drain-aborting**: [`SubmitError::Draining`] is terminal — the
+//!    service will never admit again, so retrying is lying to the caller.
+//!    The loop returns immediately without sleeping.
+//!
+//! Jitter is deterministic (a splitmix64 hash of `seed ^ attempt`), so a
+//! given policy value produces a reproducible schedule — the same
+//! no-hidden-clock discipline as the admission bucket's explicit
+//! microsecond timestamps.
+
+use std::time::Duration;
+
+use crate::SubmitError;
+
+/// A bounded, jittered exponential-backoff schedule for submission
+/// retries.  See the module docs.  Passed to `Tenant::submit_with` via
+/// `SubmitOptions::retry`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    max_attempts: u32,
+    base: Duration,
+    cap: Duration,
+    jitter: bool,
+    seed: u64,
+}
+
+impl RetryPolicy {
+    /// A policy allowing up to `max_attempts` total submission attempts
+    /// (clamped to ≥ 1; the first attempt counts), with a 50 µs base
+    /// delay doubling up to a 5 ms cap, jitter on.
+    pub fn new(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base: Duration::from_micros(50),
+            cap: Duration::from_millis(5),
+            jitter: true,
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Sets the first retry's pre-jitter delay.
+    pub fn base(mut self, base: Duration) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Sets the pre-jitter delay ceiling.  A cap below `base` is treated
+    /// as `base` (the schedule is always within `[base, max(base, cap)]`).
+    pub fn cap(mut self, cap: Duration) -> Self {
+        self.cap = cap;
+        self
+    }
+
+    /// Enables or disables jitter (default: on).  With jitter off, sleeps
+    /// equal [`delay_pre_jitter`](Self::delay_pre_jitter) exactly.
+    pub fn jitter(mut self, on: bool) -> Self {
+        self.jitter = on;
+        self
+    }
+
+    /// Seeds the deterministic jitter hash.  Submitters sharing a policy
+    /// value can pick distinct seeds to avoid retrying in lockstep.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Maximum total submission attempts (≥ 1).
+    pub fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
+    /// The deterministic (pre-jitter) delay slept after failed attempt
+    /// `attempt` (1-based): `base × 2^(attempt−1)`, clamped into
+    /// `[base, max(base, cap)]`.  Monotone nondecreasing in `attempt`.
+    pub fn delay_pre_jitter(&self, attempt: u32) -> Duration {
+        let cap = self.cap.max(self.base);
+        let exp = attempt.saturating_sub(1).min(63);
+        let nanos = (self.base.as_nanos().min(u128::from(u64::MAX)) as u64)
+            .saturating_mul(1u64 << exp.min(62));
+        Duration::from_nanos(nanos).clamp(self.base, cap)
+    }
+
+    /// The actual delay slept after failed attempt `attempt`: the
+    /// pre-jitter delay scaled by a deterministic factor in `[½, 1]`
+    /// (full delay when jitter is off).  Retry loops additionally floor
+    /// this with the admission layer's wait hint.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let pre = self.delay_pre_jitter(attempt);
+        if !self.jitter {
+            return pre;
+        }
+        let r = splitmix64(self.seed ^ u64::from(attempt));
+        // 53 uniform mantissa bits → fraction in [0, 1); scale into [½, 1].
+        let unit = (r >> 11) as f64 / (1u64 << 53) as f64;
+        pre.mul_f64(0.5 + unit / 2.0)
+    }
+}
+
+/// One splitmix64 output for input `x` — the standard finalizer, used here
+/// as a stateless hash so jitter needs no mutable RNG state.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Drives `attempt_fn` under `policy`: at most `policy.max_attempts()`
+/// calls, sleeping the jittered backoff (floored by the attempt's wait
+/// hint, when one was returned) between failures, aborting immediately —
+/// no sleep, no further attempts — on [`SubmitError::Draining`].
+///
+/// Returns the first success (or the last error) plus the number of
+/// *retries* performed (attempts beyond the first; this is what the
+/// `retry_attempts` metric accumulates).  `sleep` is injected so tests
+/// can observe the schedule without real time passing.
+pub fn run_with_retry<T>(
+    policy: &RetryPolicy,
+    mut sleep: impl FnMut(Duration),
+    mut attempt_fn: impl FnMut() -> Result<T, (SubmitError, Option<Duration>)>,
+) -> (Result<T, SubmitError>, u64) {
+    let mut retries = 0u64;
+    for attempt in 1..=policy.max_attempts {
+        match attempt_fn() {
+            Ok(value) => return (Ok(value), retries),
+            Err((SubmitError::Draining, _)) => return (Err(SubmitError::Draining), retries),
+            Err((err, hint)) => {
+                if attempt == policy.max_attempts {
+                    return (Err(err), retries);
+                }
+                retries += 1;
+                let mut delay = policy.delay(attempt);
+                if let Some(hint) = hint {
+                    delay = delay.max(hint);
+                }
+                sleep(delay);
+            }
+        }
+    }
+    // max_attempts ≥ 1, so the loop always returns from within.
+    unreachable!("retry loop exhausted without returning")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn first_success_needs_no_sleep() {
+        let policy = RetryPolicy::new(5);
+        let mut sleeps = Vec::new();
+        let (result, retries) = run_with_retry(
+            &policy,
+            |d| sleeps.push(d),
+            || Ok::<_, (SubmitError, Option<Duration>)>(42),
+        );
+        assert_eq!(result, Ok(42));
+        assert_eq!(retries, 0);
+        assert!(sleeps.is_empty());
+    }
+
+    #[test]
+    fn hint_floors_the_backoff_delay() {
+        let policy = RetryPolicy::new(2).base(Duration::from_micros(1)).jitter(false);
+        let hint = Duration::from_millis(50);
+        let mut sleeps = Vec::new();
+        let mut calls = 0;
+        let (result, _) = run_with_retry(&policy, |d| sleeps.push(d), || {
+            calls += 1;
+            Err::<(), _>((SubmitError::Backpressure, Some(hint)))
+        });
+        assert_eq!(result, Err(SubmitError::Backpressure));
+        assert_eq!(calls, 2);
+        assert_eq!(sleeps, vec![hint], "the honest bucket hint wins over tiny backoff");
+    }
+
+    proptest! {
+        /// Boundedness: against a permanently failing target the schedule
+        /// makes exactly `max_attempts` calls and `max_attempts − 1`
+        /// sleeps, then gives up with the last error.
+        #[test]
+        fn schedule_is_bounded_by_max_attempts(
+            max_attempts in 1u32..20,
+            seed in 0u64..u64::MAX,
+        ) {
+            let policy = RetryPolicy::new(max_attempts).seed(seed);
+            let mut calls = 0u32;
+            let mut sleeps = 0u32;
+            let (result, retries) = run_with_retry(&policy, |_| sleeps += 1, || {
+                calls += 1;
+                Err::<(), _>((SubmitError::Backpressure, None))
+            });
+            prop_assert_eq!(result, Err(SubmitError::Backpressure));
+            prop_assert_eq!(calls, policy.max_attempts());
+            prop_assert_eq!(sleeps, policy.max_attempts() - 1);
+            prop_assert_eq!(retries, u64::from(policy.max_attempts() - 1));
+        }
+
+        /// Pre-jitter delays are monotone nondecreasing in the attempt
+        /// index and stay within `[base, max(base, cap)]`; the jittered
+        /// delay never exceeds its pre-jitter value and keeps at least
+        /// half of it.
+        #[test]
+        fn delays_are_monotone_and_bounded(
+            base_us in 1u64..10_000,
+            cap_us in 1u64..100_000,
+            seed in 0u64..u64::MAX,
+            attempts in 2u32..40,
+        ) {
+            let base = Duration::from_micros(base_us);
+            let cap = Duration::from_micros(cap_us);
+            let policy = RetryPolicy::new(attempts).base(base).cap(cap).seed(seed);
+            let hi = cap.max(base);
+            let mut prev = Duration::ZERO;
+            for attempt in 1..=attempts {
+                let pre = policy.delay_pre_jitter(attempt);
+                prop_assert!(pre >= base, "attempt {attempt}: {pre:?} < base {base:?}");
+                prop_assert!(pre <= hi, "attempt {attempt}: {pre:?} > cap {hi:?}");
+                prop_assert!(pre >= prev, "attempt {attempt}: schedule decreased");
+                prev = pre;
+                let jittered = policy.delay(attempt);
+                prop_assert!(jittered <= pre);
+                // Integer-nanosecond truncation can shave < 1 ns off the
+                // exact half, never more.
+                prop_assert!(jittered + Duration::from_nanos(1) >= pre / 2);
+            }
+        }
+
+        /// `Draining` is terminal: however many attempts remain, the loop
+        /// stops at the attempt that observed it, without sleeping again.
+        #[test]
+        fn draining_stops_retries_immediately(
+            max_attempts in 1u32..20,
+            drain_at in 1u32..20,
+        ) {
+            let drain_at = drain_at.min(max_attempts);
+            let policy = RetryPolicy::new(max_attempts);
+            let mut calls = 0u32;
+            let mut sleeps = 0u32;
+            let (result, retries) = run_with_retry(&policy, |_| sleeps += 1, || {
+                calls += 1;
+                if calls == drain_at {
+                    Err::<(), _>((SubmitError::Draining, None))
+                } else {
+                    Err((SubmitError::Backpressure, None))
+                }
+            });
+            prop_assert_eq!(result, Err(SubmitError::Draining));
+            prop_assert_eq!(calls, drain_at);
+            prop_assert_eq!(sleeps, drain_at - 1, "no sleep after the drain signal");
+            prop_assert_eq!(retries, u64::from(drain_at - 1));
+        }
+    }
+}

@@ -167,6 +167,11 @@ fn drain_vs_submit_race_loses_and_duplicates_nothing() {
                                 accepted.fetch_add(1, Ordering::SeqCst);
                             }
                             Err(SubmitError::Draining) => saw_draining = true,
+                            // Release-built submitters outrun the two
+                            // workers, so the storm legitimately trips the
+                            // high-water shed; the test is about the drain
+                            // race, not shedding, so back off and re-offer.
+                            Err(SubmitError::Overloaded) => std::thread::yield_now(),
                             Err(other) => panic!("unexpected error {other:?}"),
                         }
                     }
