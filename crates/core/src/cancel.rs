@@ -2,22 +2,28 @@
 //! (DESIGN.md §17).
 //!
 //! A [`CancelCell`] is the decided-race arbiter between "this task runs"
-//! and "this task is dropped without running".  It is a three-state
+//! and "this task is dropped without running".  It is a four-state
 //! machine over one atomic word:
 //!
 //! ```text
 //!            cancel()                try_claim()
 //! Pending ─────────────▶ Cancelled   Pending ─────────────▶ Claimed
+//!
+//!            expire()
+//! Pending ─────────────▶ Expired
 //! ```
 //!
-//! Both transitions are single CASes out of `Pending`, and `Cancelled`
-//! and `Claimed` are terminal, so exactly one of the two ever wins: a
+//! All three transitions are single CASes out of `Pending`, and every
+//! non-`Pending` state is terminal, so exactly one of them ever wins: a
 //! task either executes (its runner won the claim CAS) or is dropped
-//! (the canceller won, or the runner observed the cancellation and
-//! retired the node), never both and never neither.  The exhaustive
-//! interleaving proof lives in `crates/model/tests/cancel_model.rs`,
-//! which is why the cell's atomic comes from the `teamsteal_util::sync`
-//! shim rather than `std` directly.
+//! (a canceller or the owner's deadline check won, or the runner
+//! observed the settled cell and retired the node), never both and never
+//! neither.  Keeping `Cancelled` and `Expired` distinct keeps the
+//! observers honest: `is_cancelled()` is true only when a `cancel()`
+//! call actually won the race, never when a deadline lapsed.  The
+//! exhaustive interleaving proof lives in
+//! `crates/model/tests/cancel_model.rs`, which is why the cell's atomic
+//! comes from the `teamsteal_util::sync` shim rather than `std` directly.
 //!
 //! Deadlines deliberately do **not** live in the cell: a task's deadline
 //! is plain immutable data on the `TaskNode`, checked by whichever worker
@@ -25,17 +31,18 @@
 //! linearly through the deques, so no two threads ever race on the
 //! deadline check).  Only *external* cancellation — a caller thread
 //! racing the executing worker — needs the CAS; the expiry path merely
-//! settles the cell to `Cancelled` so a late `cancel()` or `is_finished`
-//! observer sees a coherent terminal state.
+//! settles the cell to `Expired` so a late `cancel()`, `is_expired` or
+//! `is_finished` observer sees a coherent terminal state.
 
 use teamsteal_util::sync::atomic::{AtomicU32, Ordering};
 
 const PENDING: u32 = 0;
 const CANCELLED: u32 = 1;
 const CLAIMED: u32 = 2;
+const EXPIRED: u32 = 3;
 
-/// Lock-free Pending → Cancelled/Claimed cell deciding the run-vs-cancel
-/// race for one task.  See the module docs.
+/// Lock-free Pending → Cancelled/Claimed/Expired cell deciding the
+/// run-vs-drop race for one task.  See the module docs.
 #[derive(Debug)]
 pub struct CancelCell {
     state: AtomicU32,
@@ -58,7 +65,7 @@ impl CancelCell {
     /// Requests cancellation.  Returns `true` if this call won the race —
     /// the task is then guaranteed never to run.  Returns `false` when the
     /// task was already claimed for execution (it runs, or is running, or
-    /// ran) or was already cancelled by an earlier call.
+    /// ran), already expired, or already cancelled by an earlier call.
     ///
     /// The acquire on failure pairs with the claimer's release, so a caller
     /// that observes `Claimed` also observes every write the claimer made
@@ -69,19 +76,45 @@ impl CancelCell {
             .is_ok()
     }
 
+    /// Marks the task expired: its deadline passed before any runner
+    /// claimed it.  Returns `true` if this call settled the cell; `false`
+    /// when the cell was already claimed, cancelled or expired.  Called
+    /// only by the worker that exclusively owns the node at claim time
+    /// (the deadline check itself needs no atomics — see the module docs);
+    /// the CAS exists so a concurrently racing `cancel()` and a late
+    /// observer still see one coherent terminal state.
+    pub fn expire(&self) -> bool {
+        self.state
+            .compare_exchange(PENDING, EXPIRED, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
     /// Claims the task for execution.  Returns `true` for the single caller
-    /// that may run it; `false` means the task was cancelled first and must
-    /// be retired without running.  Called exactly once per task, by the
-    /// worker that owns the node at execution time.
+    /// that may run it; `false` means the task was cancelled or expired
+    /// first and must be retired without running.  Called exactly once per
+    /// task, by the worker that owns the node at execution time.
     pub fn try_claim(&self) -> bool {
         self.state
             .compare_exchange(PENDING, CLAIMED, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
     }
 
+    /// `true` while no transition has won yet: the task is still queued
+    /// and both `cancel()` and `try_claim()` could still succeed.
+    pub fn is_pending(&self) -> bool {
+        self.state.load(Ordering::Acquire) == PENDING
+    }
+
     /// `true` once a `cancel()` has won the race (the task will never run).
+    /// Expiry does **not** count: see [`is_expired`](Self::is_expired).
     pub fn is_cancelled(&self) -> bool {
         self.state.load(Ordering::Acquire) == CANCELLED
+    }
+
+    /// `true` once the owner's deadline check settled the cell (the task
+    /// will never run because its deadline passed while it was queued).
+    pub fn is_expired(&self) -> bool {
+        self.state.load(Ordering::Acquire) == EXPIRED
     }
 
     /// `true` once a runner has claimed the task (cancellation can no
@@ -122,5 +155,25 @@ mod tests {
         let cell = CancelCell::new();
         assert!(cell.try_claim());
         assert!(!cell.try_claim(), "second claim does not win again");
+        let cell = CancelCell::new();
+        assert!(cell.expire());
+        assert!(!cell.expire(), "second expire does not win again");
+    }
+
+    #[test]
+    fn expiry_is_terminal_and_distinct_from_cancellation() {
+        let cell = CancelCell::new();
+        assert!(cell.is_pending());
+        assert!(cell.expire());
+        assert!(cell.is_expired());
+        assert!(!cell.is_cancelled(), "expiry must not report as cancelled");
+        assert!(!cell.is_pending());
+        assert!(!cell.cancel(), "cancel after expiry must lose");
+        assert!(!cell.try_claim(), "claim after expiry must lose");
+        // And the other direction: a won cancel is never reported expired.
+        let cell = CancelCell::new();
+        assert!(cell.cancel());
+        assert!(!cell.expire());
+        assert!(!cell.is_expired());
     }
 }

@@ -962,13 +962,14 @@ impl Worker {
         }
         if let Some(deadline) = node.deadline {
             if std::time::Instant::now() >= deadline {
-                // Settle the cell so a late `cancel()`/`is_finished`
-                // observer sees a coherent terminal state.  Losing this
-                // CAS to a racing `cancel()` still drops the task; only
-                // the expired-vs-cancelled attribution is best-effort in
-                // that one window.
+                // Settle the cell to `Expired` so a late `cancel()`,
+                // `is_expired` or `is_finished` observer sees a coherent
+                // terminal state (and expiry never reports as cancelled).
+                // Losing this CAS to a racing `cancel()` still drops the
+                // task; only the expired-vs-cancelled attribution is
+                // best-effort in that one window.
                 if let Some(cell) = &node.cancel {
-                    cell.cancel();
+                    cell.expire();
                 }
                 self.me().counters.inc_tasks_expired();
                 self.finish_node(ptr);

@@ -20,6 +20,13 @@
 //! canceller against the exclusive owner claiming at `pop`/`run_singleton`
 //! time) and *cancel vs steal* (the canceller against two workers racing
 //! for node ownership through the deque, the winner of which claim-gates).
+//! On top of those, the service-plane compositions: a *batch sweep*
+//! (one `CancelToken::cancel` cancelling each batch member's own cell in
+//! turn, racing the workers claiming them — each task decides its race
+//! independently, so an unswept batch always runs in full) and *expiry vs
+//! cancel* (the owning worker's `expire()` against an external
+//! `cancel()` — exactly one settles the cell, the task never runs, and
+//! the attribution is coherent: `cancel() == true ⇔ is_cancelled()`).
 //!
 //! Run with `RUSTFLAGS='--cfg teamsteal_model' cargo test -p teamsteal-model`.
 #![cfg(teamsteal_model)]
@@ -180,6 +187,142 @@ fn cancel_vs_steal_runs_xor_drops() {
     });
     let seen = seen.lock().unwrap();
     for outcome in ["ran", "dropped"] {
+        assert!(
+            seen.contains(outcome),
+            "exploration never produced a schedule where the task {outcome}: {seen:?}"
+        );
+    }
+}
+
+/// Batch sweep vs claiming workers: two tasks each carry their **own**
+/// cell (the `submit_with` shape — a shared `CancelToken` is a registry
+/// over per-task cells, never one cell), a worker per task claim-gates,
+/// and the sweeper cancels the cells in registry order like
+/// `CancelToken::cancel`.  On every interleaving each task independently
+/// runs XOR drops with its countdown firing exactly once, the sweep's
+/// "won at least one race" answer matches the per-cell outcomes, and —
+/// the regression this models — a task whose race the sweep *lost* still
+/// ran even when its batch sibling was dropped.
+#[test]
+fn batch_sweep_decides_each_task_independently() {
+    let seen: Arc<StdMutex<BTreeSet<u32>>> = Arc::default();
+    let seen_in = Arc::clone(&seen);
+    Builder::new().preemption_bound(2).check(move || {
+        let cells: Vec<_> = (0..2).map(|_| Arc::new(CancelCell::new())).collect();
+        let runs: Vec<_> = (0..2).map(|_| Arc::new(AtomicUsize::new(0))).collect();
+        let drops: Vec<_> = (0..2).map(|_| Arc::new(AtomicUsize::new(0))).collect();
+        let countdowns: Vec<_> = (0..2).map(|_| Arc::new(AtomicUsize::new(1))).collect();
+
+        let workers: Vec<_> = (0..2)
+            .map(|i| {
+                let cell = Arc::clone(&cells[i]);
+                let runs = Arc::clone(&runs[i]);
+                let drops = Arc::clone(&drops[i]);
+                let countdown = Arc::clone(&countdowns[i]);
+                thread::spawn(move || claim_and_retire(&cell, &runs, &drops, &countdown))
+            })
+            .collect();
+        let sweeper = {
+            let cells = cells.clone();
+            thread::spawn(move || {
+                // `CancelToken::cancel`: sweep the registry, reporting
+                // whether any per-task race was won.
+                let mut won = false;
+                for cell in &cells {
+                    won |= cell.cancel();
+                }
+                won
+            })
+        };
+
+        let ran: Vec<bool> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+        let sweep_won = sweeper.join().unwrap();
+
+        let mut ran_count = 0u32;
+        for i in 0..2 {
+            let runs = runs[i].load(Ordering::SeqCst);
+            let drops = drops[i].load(Ordering::SeqCst);
+            assert_eq!(runs + drops, 1, "task {i} must run or drop exactly once");
+            assert_eq!(countdowns[i].load(Ordering::SeqCst), 0);
+            // Per-task coherence: ran ⇔ claimed, dropped ⇔ the sweep won.
+            assert_eq!(ran[i], cells[i].is_claimed());
+            assert_eq!(!ran[i], cells[i].is_cancelled());
+            ran_count += u32::from(ran[i]);
+        }
+        assert_eq!(
+            sweep_won,
+            ran_count < 2,
+            "the sweep won at least one race iff some task did not run"
+        );
+        seen_in.lock().unwrap().insert(ran_count);
+    });
+    // The exploration must reach full survival (sweep lost both races —
+    // the old shared-cell bug made this impossible), full cancellation,
+    // and the mixed outcome.
+    let seen = seen.lock().unwrap();
+    for ran_count in 0..=2 {
+        assert!(
+            seen.contains(&ran_count),
+            "exploration never produced a schedule where {ran_count} of 2 batch tasks ran: {seen:?}"
+        );
+    }
+}
+
+/// Expiry vs cancel: the node's exclusive owner observed the deadline
+/// lapsed and settles the cell with `expire()` (the `retire_if_stale`
+/// shape — it first probes `is_cancelled`, then expires and drops), while
+/// an external canceller races `cancel()`.  On every interleaving the
+/// task never runs, it is retired exactly once, exactly one transition
+/// wins the cell, and the attribution both sides report is coherent:
+/// `cancel() == true ⇔ is_cancelled()`, else the cell reads expired.
+#[test]
+fn expiry_vs_cancel_settles_coherently() {
+    let seen: Arc<StdMutex<BTreeSet<&'static str>>> = Arc::default();
+    let seen_in = Arc::clone(&seen);
+    Builder::new().preemption_bound(2).check(move || {
+        let cell = Arc::new(CancelCell::new());
+        let countdown = Arc::new(AtomicUsize::new(1));
+
+        let owner = {
+            let cell = Arc::clone(&cell);
+            let countdown = Arc::clone(&countdown);
+            thread::spawn(move || {
+                // `retire_if_stale` with a lapsed deadline: probe the
+                // cancel fast path, then settle to Expired; the task is
+                // dropped (never claimed) on both branches.
+                let expired = if cell.is_cancelled() {
+                    false
+                } else {
+                    cell.expire()
+                };
+                let prev = countdown.fetch_sub(1, Ordering::SeqCst);
+                assert_eq!(prev, 1, "scope countdown fired more than once");
+                expired
+            })
+        };
+        let canceller = {
+            let cell = Arc::clone(&cell);
+            thread::spawn(move || cell.cancel())
+        };
+
+        let expired = owner.join().unwrap();
+        let cancel_won = canceller.join().unwrap();
+
+        assert_eq!(countdown.load(Ordering::SeqCst), 0);
+        // Exactly one transition settled the cell, and everyone agrees
+        // which: a winning cancel() is the only way is_cancelled() turns
+        // true; otherwise the owner's expire() won.
+        assert!(expired ^ cancel_won, "exactly one side settles the cell");
+        assert_eq!(cancel_won, cell.is_cancelled());
+        assert_eq!(expired, cell.is_expired());
+        assert!(!cell.is_claimed(), "a stale task is never claimed");
+        seen_in
+            .lock()
+            .unwrap()
+            .insert(if expired { "expired" } else { "cancelled" });
+    });
+    let seen = seen.lock().unwrap();
+    for outcome in ["expired", "cancelled"] {
         assert!(
             seen.contains(outcome),
             "exploration never produced a schedule where the task {outcome}: {seen:?}"

@@ -54,7 +54,7 @@ pub mod loadgen;
 pub mod retry;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use teamsteal_core::{CancelCell, ConcurrentScope, MetricsSnapshot, Scheduler, TaskContext};
@@ -427,14 +427,43 @@ impl Drop for CompletionGuard {
     }
 }
 
-/// A cloneable cancellation token for one task (wraps the core's
-/// lock-free [`CancelCell`]).  Obtained from a [`TaskHandle`] or created
-/// up front with [`CancelToken::new`] and passed in via
+/// A cloneable cancellation token covering any number of
+/// [`Tenant::submit_with`] submissions.  Obtained from a [`TaskHandle`]
+/// or created up front with [`CancelToken::new`] and passed in via
 /// [`SubmitOptions::cancel_token`] — e.g. one shared token fanned out
-/// over a batch so a single `cancel()` sweeps the whole batch.
+/// over a batch so a single [`cancel`](Self::cancel) sweeps the whole
+/// batch.
+///
+/// Each submission still gets its **own** per-task claim cell (the
+/// run-vs-cancel race is decided per task, so sharing a token never
+/// prevents the other batch members from running); the token is a
+/// registry of those cells plus a sticky cancelled flag.  Cancelling the
+/// token sweeps every attached cell and poisons the token: submissions
+/// attached *after* the sweep are cancelled on attach and dropped at
+/// claim time like the rest.
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken {
-    cell: Arc<CancelCell>,
+    inner: Arc<TokenInner>,
+}
+
+#[derive(Debug, Default)]
+struct TokenInner {
+    /// Sticky "cancel() was called" flag.  Written and read only under
+    /// the `children` lock, but atomic so `is_cancelled` can stay
+    /// lock-free.
+    cancelled: AtomicBool,
+    children: Mutex<TokenChildren>,
+}
+
+#[derive(Debug, Default)]
+struct TokenChildren {
+    /// Claim cells of the attached, not-yet-swept submissions.
+    cells: Vec<Arc<CancelCell>>,
+    /// Amortized-pruning threshold: settled cells (claimed, cancelled or
+    /// expired — all terminal) are retained only until the vec outgrows
+    /// this, keeping a long-lived reused token from accumulating dead
+    /// cells without an O(n) scan per attach.
+    prune_at: usize,
 }
 
 impl CancelToken {
@@ -443,18 +472,51 @@ impl CancelToken {
         Self::default()
     }
 
-    /// Requests cancellation.  Returns `true` if this call won the
-    /// run-vs-cancel race: the task is then guaranteed never to execute
-    /// (it is dropped at pop/claim time and counted as `tasks_cancelled`).
-    /// Returns `false` when the task was already claimed for execution or
-    /// already cancelled.
-    pub fn cancel(&self) -> bool {
-        self.cell.cancel()
+    /// Registers one submission's claim cell with the token.  If the
+    /// token was already cancelled the cell is cancelled immediately (the
+    /// task will be dropped at claim time) and not retained.
+    fn attach(&self, cell: Arc<CancelCell>) {
+        let mut children = self.inner.children.lock().unwrap();
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            cell.cancel();
+            return;
+        }
+        if children.cells.len() >= children.prune_at.max(8) {
+            children.cells.retain(|c| c.is_pending());
+            children.prune_at = children.cells.len() * 2;
+        }
+        children.cells.push(cell);
     }
 
-    /// `true` once a `cancel()` call has won the race.
+    /// Cancels every submission attached to this token (or any clone of
+    /// it) and poisons the token, so later submissions attached to it are
+    /// dropped too.  Returns `true` if at least one attached task's
+    /// run-vs-cancel race was won — that task (and every other winner of
+    /// the sweep) is then guaranteed never to execute; each is dropped at
+    /// pop/claim time and counted as `tasks_cancelled`.  Returns `false`
+    /// when every attached task was already claimed for execution,
+    /// expired, or cancelled — or when nothing was attached yet (the
+    /// token is still poisoned).
+    pub fn cancel(&self) -> bool {
+        let mut children = self.inner.children.lock().unwrap();
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+        // Drain the registry: every cell is settled after the sweep, so
+        // retaining them would only delay their nodes' memory reuse.
+        let mut won = false;
+        for cell in children.cells.drain(..) {
+            won |= cell.cancel();
+        }
+        children.prune_at = 0;
+        won
+    }
+
+    /// `true` once [`cancel`](Self::cancel) has been called on this token
+    /// or any clone of it.  Attached tasks not yet claimed at that point
+    /// will never run; tasks a worker claimed first still run to
+    /// completion.  For the per-task answer, ask the task's
+    /// [`TaskHandle`].
     pub fn is_cancelled(&self) -> bool {
-        self.cell.is_cancelled()
+        self.inner.cancelled.load(Ordering::Relaxed)
     }
 }
 
@@ -506,31 +568,51 @@ impl SubmitOptions {
 /// Handle to one [`Tenant::submit_with`] submission.
 pub struct TaskHandle {
     token: CancelToken,
+    /// This submission's own claim cell — the same one the worker's
+    /// claim gate CASes on, so the handle's answers are per-task even
+    /// when the token is shared across a batch.
+    cell: Arc<CancelCell>,
     finished: Arc<AtomicBool>,
 }
 
 impl TaskHandle {
-    /// Requests cancellation; see [`CancelToken::cancel`] for the race
-    /// semantics.
+    /// Requests cancellation of **this** task only.  Returns `true` if
+    /// the call won the run-vs-cancel race: the task is then guaranteed
+    /// never to execute (dropped at pop/claim time, counted as
+    /// `tasks_cancelled`).  Returns `false` when the task was already
+    /// claimed for execution, expired, or cancelled.  To sweep a whole
+    /// batch sharing one token, cancel via [`token`](Self::token).
     pub fn cancel(&self) -> bool {
-        self.token.cancel()
+        self.cell.cancel()
     }
 
     /// `true` once the task has retired: ran to completion, panicked, was
     /// cancelled, or expired.  Distinguish via
-    /// [`is_cancelled`](Self::is_cancelled): a finished, uncancelled task
+    /// [`is_cancelled`](Self::is_cancelled) /
+    /// [`is_expired`](Self::is_expired): a finished task with neither set
     /// executed.
     pub fn is_finished(&self) -> bool {
         self.finished.load(Ordering::Acquire)
     }
 
-    /// `true` once a `cancel()` call (through this handle or any clone of
-    /// its token) won the run-vs-cancel race.
+    /// `true` once a `cancel()` call — through this handle, or a token
+    /// sweep covering it — won this task's run-vs-cancel race.  Deadline
+    /// expiry reports separately via [`is_expired`](Self::is_expired).
     pub fn is_cancelled(&self) -> bool {
-        self.token.is_cancelled()
+        self.cell.is_cancelled()
     }
 
-    /// The task's cancellation token (cheap to clone and share).
+    /// `true` once the task's deadline passed while it was still queued:
+    /// it was (or will be, at the next claim attempt) dropped without
+    /// running and counted as `tasks_expired`.
+    pub fn is_expired(&self) -> bool {
+        self.cell.is_expired()
+    }
+
+    /// The submission's cancellation token (cheap to clone and share).
+    /// Cancelling it sweeps every task attached to it — just this one,
+    /// unless the submission passed a shared token in via
+    /// [`SubmitOptions::cancel_token`].
     pub fn token(&self) -> CancelToken {
         self.token.clone()
     }
@@ -769,19 +851,28 @@ impl Tenant {
     where
         F: FnOnce(&TaskContext<'_>) + Send + 'static,
     {
+        // `checked_add`: a huge relative deadline (say `Duration::MAX` as
+        // an "effectively none" sentinel) saturates to no deadline instead
+        // of panicking the submitting thread.
         let deadline = opts
             .deadline
             .or(self.state.default_deadline)
-            .map(|d| Instant::now() + d);
+            .and_then(|d| Instant::now().checked_add(d));
         let token = opts.cancel_token.unwrap_or_default();
+        let cell = Arc::new(CancelCell::new());
         let finished = Arc::new(AtomicBool::new(false));
         let mut f = Some(f);
         let mut attempt = || -> Result<(), (SubmitError, Option<Duration>)> {
             let guard = self.admit_with(Some(Arc::clone(&finished)))?;
+            // Register the task's own claim cell with the (possibly
+            // batch-shared) token only once it is actually admitted, so a
+            // token sweep's "won at least one race" answer never counts a
+            // submission that was rejected.
+            token.attach(Arc::clone(&cell));
             let job = f.take().expect("one success consumes the closure");
             self.core.scope.submit_cancellable(
                 &self.core.scheduler,
-                Some(Arc::clone(&token.cell)),
+                Some(Arc::clone(&cell)),
                 deadline,
                 move |ctx| {
                     let _guard = guard;
@@ -801,7 +892,11 @@ impl Tenant {
                 result
             }
         };
-        result.map(|()| TaskHandle { token, finished })
+        result.map(|()| TaskHandle {
+            token,
+            cell,
+            finished,
+        })
     }
 
     /// Runs the admission pipeline and, on success, returns the completion
@@ -856,7 +951,10 @@ impl Tenant {
             Err(first) => match self.state.policy {
                 AdmissionPolicy::Reject => Err((SubmitError::Backpressure, hint(first))),
                 AdmissionPolicy::Block(max_wait) => {
-                    let deadline = Instant::now() + max_wait;
+                    // `checked_add`: an absurdly large bound (a "block
+                    // forever" sentinel) means no deadline rather than a
+                    // panic; the drain check below still bounds the wait.
+                    let deadline = Instant::now().checked_add(max_wait);
                     let mut shortfall = first;
                     loop {
                         // A drain must not wait out blocked submitters:
@@ -865,17 +963,19 @@ impl Tenant {
                             return Err((SubmitError::Draining, None));
                         }
                         let now = Instant::now();
-                        if now >= deadline {
+                        if deadline.is_some_and(|d| now >= d) {
                             return Err((SubmitError::Backpressure, hint(shortfall)));
                         }
-                        let nap = Duration::from_micros(
+                        let mut nap = Duration::from_micros(
                             self.state.bucket.wait_hint_us(shortfall).max(1),
-                        );
+                        )
                         // Cap each nap so the drain/deadline checks stay
                         // responsive even with huge shortfalls.
-                        std::thread::sleep(
-                            nap.min(deadline - now).min(Duration::from_millis(1)),
-                        );
+                        .min(Duration::from_millis(1));
+                        if let Some(d) = deadline {
+                            nap = nap.min(d - now);
+                        }
+                        std::thread::sleep(nap);
                         match self.state.bucket.try_acquire_at(self.core.now_us()) {
                             Ok(()) => return Ok(()),
                             Err(s) => shortfall = s,

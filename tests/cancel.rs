@@ -10,7 +10,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use teamsteal::service::{
-    AdmissionPolicy, RetryPolicy, ServiceBuilder, SubmitError, SubmitOptions, TenantConfig,
+    AdmissionPolicy, CancelToken, RetryPolicy, ServiceBuilder, SubmitError, SubmitOptions,
+    TenantConfig,
 };
 
 mod common;
@@ -105,11 +106,183 @@ fn expired_task_is_dropped_at_claim_time() {
 
         assert!(!ran.load(Ordering::SeqCst), "expired task must never run");
         assert!(handle.is_finished());
+        assert!(handle.is_expired(), "expiry must be visible on the handle");
+        assert!(
+            !handle.is_cancelled(),
+            "expiry must not masquerade as cancellation"
+        );
         let metrics = service.metrics();
         assert_eq!(metrics.tasks_executed, 1, "only the blocker may execute");
         assert_eq!(metrics.tasks_expired, 1);
         assert_eq!(report.completed(), report.admitted());
         assert_eq!(service.report().tasks_expired, 1);
+    });
+}
+
+/// The batch fan-out contract of a shared [`CancelToken`]: each
+/// submission keeps its own claim cell, so an *uncancelled* shared token
+/// never stops any batch member from running.  (Regression: a one-shot
+/// cell shared across the batch let only the first claimer run and
+/// miscounted the rest as cancelled.)
+#[test]
+fn shared_token_batch_all_run_when_uncancelled() {
+    const BATCH: usize = 8;
+    with_watchdog("shared_token_all_run", WATCHDOG, || {
+        let service = ServiceBuilder::new()
+            .threads(2)
+            .tenant(TenantConfig::new("t").burst(16))
+            .build();
+        let tenant = service.tenant("t").unwrap();
+        let token = CancelToken::new();
+        let ran = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..BATCH)
+            .map(|_| {
+                let ran = Arc::clone(&ran);
+                tenant
+                    .submit_with(SubmitOptions::new().cancel_token(token.clone()), move |_| {
+                        ran.fetch_add(1, Ordering::SeqCst);
+                    })
+                    .unwrap()
+            })
+            .collect();
+        service.drain();
+        assert_eq!(
+            ran.load(Ordering::SeqCst),
+            BATCH,
+            "every member of an uncancelled batch must execute"
+        );
+        for handle in &handles {
+            assert!(handle.is_finished());
+            assert!(!handle.is_cancelled());
+            assert!(!handle.is_expired());
+        }
+        let metrics = service.metrics();
+        assert_eq!(metrics.tasks_executed, BATCH as u64);
+        assert_eq!(metrics.tasks_cancelled, 0);
+        assert_eq!(metrics.tasks_expired, 0);
+    });
+}
+
+/// A single `CancelToken::cancel` sweeps every queued task sharing the
+/// token: none run, each is counted in `tasks_cancelled`, and each
+/// handle reports per-task cancellation — while a task submitted with
+/// its own token is untouched by the sweep.
+#[test]
+fn shared_token_cancel_sweeps_whole_batch() {
+    const BATCH: usize = 3;
+    with_watchdog("shared_token_sweep", WATCHDOG, || {
+        let service = ServiceBuilder::new()
+            .threads(1)
+            .tenant(TenantConfig::new("t").burst(16))
+            .build();
+        let tenant = service.tenant("t").unwrap();
+        let release = Arc::new(AtomicBool::new(false));
+        tenant.submit(blocker(&release)).unwrap();
+
+        let token = CancelToken::new();
+        let ran = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..BATCH)
+            .map(|_| {
+                let ran = Arc::clone(&ran);
+                tenant
+                    .submit_with(SubmitOptions::new().cancel_token(token.clone()), move |_| {
+                        ran.fetch_add(1, Ordering::SeqCst);
+                    })
+                    .unwrap()
+            })
+            .collect();
+        // A bystander with its own (default) token must survive the sweep.
+        let bystander_ran = Arc::new(AtomicBool::new(false));
+        let bystander_ran_in = Arc::clone(&bystander_ran);
+        let bystander = tenant
+            .submit_with(SubmitOptions::new(), move |_| {
+                bystander_ran_in.store(true, Ordering::SeqCst);
+            })
+            .unwrap();
+
+        assert!(token.cancel(), "the sweep must win at least one race");
+        assert!(token.is_cancelled());
+        assert!(!token.cancel(), "a second sweep has nothing left to win");
+
+        release.store(true, Ordering::Release);
+        let report = service.drain();
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "swept tasks must never run");
+        assert!(bystander_ran.load(Ordering::SeqCst), "bystander must run");
+        for handle in &handles {
+            assert!(handle.is_finished());
+            assert!(handle.is_cancelled(), "sweep must be visible per task");
+        }
+        assert!(!bystander.is_cancelled());
+        let metrics = service.metrics();
+        // The blocker and the bystander executed; the batch did not.
+        assert_eq!(metrics.tasks_executed, 2);
+        assert_eq!(metrics.tasks_cancelled, BATCH as u64);
+        assert_eq!(report.completed(), report.admitted());
+    });
+}
+
+/// Cancelling a token *before* submitting through it poisons it: the
+/// submission is admitted but dropped at claim time, never running.
+#[test]
+fn cancelled_token_poisons_later_submissions() {
+    with_watchdog("poisoned_token", WATCHDOG, || {
+        let service = ServiceBuilder::new()
+            .threads(1)
+            .tenant(TenantConfig::new("t").burst(8))
+            .build();
+        let tenant = service.tenant("t").unwrap();
+        let token = CancelToken::new();
+        assert!(!token.cancel(), "nothing attached yet — no race to win");
+        let ran = Arc::new(AtomicBool::new(false));
+        let ran_in = Arc::clone(&ran);
+        let handle = tenant
+            .submit_with(SubmitOptions::new().cancel_token(token.clone()), move |_| {
+                ran_in.store(true, Ordering::SeqCst);
+            })
+            .unwrap();
+        service.drain();
+        assert!(!ran.load(Ordering::SeqCst), "poisoned submission must not run");
+        assert!(handle.is_finished());
+        assert!(handle.is_cancelled());
+        assert_eq!(service.metrics().tasks_cancelled, 1);
+    });
+}
+
+/// Effectively-infinite durations are "no deadline"/"no bound"
+/// sentinels, not panics: `Duration::MAX` as a per-task deadline, a
+/// tenant default, or a `Block` admission bound must all submit and run
+/// normally (regression: unchecked `Instant::now() + d` overflowed).
+#[test]
+fn huge_durations_mean_no_deadline_not_a_panic() {
+    with_watchdog("huge_durations", WATCHDOG, || {
+        let service = ServiceBuilder::new()
+            .threads(1)
+            .tenant(
+                TenantConfig::new("t")
+                    .burst(8)
+                    .default_deadline(Duration::MAX)
+                    .policy(AdmissionPolicy::Block(Duration::MAX)),
+            )
+            .build();
+        let tenant = service.tenant("t").unwrap();
+        let ran = Arc::new(AtomicUsize::new(0));
+        // One submission exercises the explicit-deadline path, the other
+        // the tenant-default path.
+        let opts = [
+            SubmitOptions::new().deadline(Duration::MAX),
+            SubmitOptions::new(),
+        ];
+        for opts in opts {
+            let ran = Arc::clone(&ran);
+            tenant
+                .submit_with(opts, move |_| {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                })
+                .unwrap();
+        }
+        service.drain();
+        assert_eq!(ran.load(Ordering::SeqCst), 2);
+        assert_eq!(service.metrics().tasks_expired, 0);
     });
 }
 
